@@ -1,0 +1,431 @@
+"""System configuration for the SHIFT reproduction.
+
+This module encodes Table I of the paper (system and application parameters)
+as dataclasses, together with a *scaled* configuration used by default for
+pure-Python experiments.  The scaled configuration shrinks the L1-I cache and
+the instruction working sets of the synthetic workloads by the same factor, so
+that the ratios that drive the paper's results (instruction working set vs.
+L1-I capacity, history-buffer reach vs. working set) are preserved while the
+simulations complete in seconds rather than hours.
+
+Two entry points are provided:
+
+* :func:`paper_system` — the 16-core Lean-OoO CMP of Table I (32 KB L1-I,
+  512 KB LLC per core, 32K-record histories).
+* :func:`scaled_system` — the same system shrunk by ``scale`` (default 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from .errors import ConfigurationError
+
+#: Cache block size used throughout the paper (bytes).
+BLOCK_SIZE = 64
+
+#: Physical address width assumed by the paper (bits).
+PHYSICAL_ADDRESS_BITS = 40
+
+#: Block-address width (40-bit physical addresses, 64-byte blocks).
+BLOCK_ADDRESS_BITS = PHYSICAL_ADDRESS_BITS - 6
+
+#: Core clock frequency used for all core types (Hz).
+CORE_FREQUENCY_HZ = 2_000_000_000
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a private cache (L1-I or L1-D)."""
+
+    size_bytes: int
+    associativity: int
+    block_size: int = BLOCK_SIZE
+    load_to_use_cycles: int = 2
+    mshrs: int = 32
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, "cache size must be positive")
+        _require(self.associativity > 0, "associativity must be positive")
+        _require(self.block_size > 0, "block size must be positive")
+        _require(
+            self.size_bytes % (self.block_size * self.associativity) == 0,
+            "cache size must be a whole number of sets",
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks the cache can hold."""
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class LLCConfig:
+    """Shared NUCA last-level cache (called "L2 NUCA" in Table I)."""
+
+    size_bytes_per_core: int = 512 * 1024
+    associativity: int = 16
+    block_size: int = BLOCK_SIZE
+    banks: int = 16
+    hit_latency_cycles: int = 5
+    mshrs: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes_per_core > 0, "LLC slice size must be positive")
+        _require(self.banks > 0, "LLC must have at least one bank")
+
+    def total_size_bytes(self, num_cores: int) -> int:
+        """Aggregate LLC capacity for ``num_cores`` tiles."""
+        return self.size_bytes_per_core * num_cores
+
+    def total_blocks(self, num_cores: int) -> int:
+        """Aggregate number of LLC blocks for ``num_cores`` tiles."""
+        return self.total_size_bytes(num_cores) // self.block_size
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """2D mesh on-chip network."""
+
+    rows: int = 4
+    columns: int = 4
+    cycles_per_hop: int = 3
+
+    def __post_init__(self) -> None:
+        _require(self.rows > 0 and self.columns > 0, "mesh dimensions must be positive")
+        _require(self.cycles_per_hop >= 0, "hop latency cannot be negative")
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.columns
+
+    def average_hop_count(self) -> float:
+        """Average Manhattan distance between two uniformly random tiles."""
+        # For an R x C mesh the expected |dx| + |dy| over uniform pairs is
+        # (R^2 - 1) / (3 R) + (C^2 - 1) / (3 C).
+        rows, cols = self.rows, self.columns
+        return (rows * rows - 1) / (3.0 * rows) + (cols * cols - 1) / (3.0 * cols)
+
+    def average_latency_cycles(self) -> float:
+        """Average one-way NoC traversal latency in cycles."""
+        return self.average_hop_count() * self.cycles_per_hop
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip main memory."""
+
+    access_latency_ns: float = 45.0
+    frequency_hz: int = CORE_FREQUENCY_HZ
+
+    @property
+    def access_latency_cycles(self) -> int:
+        """Main-memory latency expressed in core cycles."""
+        return int(round(self.access_latency_ns * 1e-9 * self.frequency_hz))
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A core microarchitecture design point (Table I / Section 2.3).
+
+    The trace-driven timing model does not simulate the out-of-order engine;
+    instead, each core type is characterised by a base IPC (throughput when
+    the front end never stalls) and a *stall exposure* factor: the fraction of
+    an instruction-fetch miss latency that actually stalls retirement.  Wider,
+    more aggressive cores overlap slightly more of the front-end stall with
+    useful work already in the window, so their exposure is lower.
+    """
+
+    name: str
+    kind: str  # "fat_ooo" | "lean_ooo" | "lean_io"
+    dispatch_width: int
+    rob_entries: int
+    lsq_entries: int
+    area_mm2: float
+    base_ipc: float
+    stall_exposure: float
+    frequency_hz: int = CORE_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        _require(self.kind in {"fat_ooo", "lean_ooo", "lean_io"}, f"unknown core kind {self.kind!r}")
+        _require(self.dispatch_width > 0, "dispatch width must be positive")
+        _require(0.0 < self.base_ipc <= self.dispatch_width, "base IPC must be in (0, dispatch width]")
+        _require(0.0 < self.stall_exposure <= 1.0, "stall exposure must be in (0, 1]")
+        _require(self.area_mm2 > 0.0, "core area must be positive")
+
+
+#: The three core design points evaluated in the paper (areas include L1s,
+#: 40 nm technology).
+FAT_OOO = CoreConfig(
+    name="Fat-OoO (Xeon-class)",
+    kind="fat_ooo",
+    dispatch_width=4,
+    rob_entries=128,
+    lsq_entries=32,
+    area_mm2=25.0,
+    base_ipc=2.0,
+    stall_exposure=0.70,
+)
+
+LEAN_OOO = CoreConfig(
+    name="Lean-OoO (Cortex-A15-class)",
+    kind="lean_ooo",
+    dispatch_width=3,
+    rob_entries=60,
+    lsq_entries=16,
+    area_mm2=4.5,
+    base_ipc=1.5,
+    stall_exposure=0.85,
+)
+
+LEAN_IO = CoreConfig(
+    name="Lean-IO (Cortex-A8-class)",
+    kind="lean_io",
+    dispatch_width=2,
+    rob_entries=0,
+    lsq_entries=0,
+    area_mm2=1.3,
+    base_ipc=1.0,
+    stall_exposure=1.00,
+)
+
+CORE_TYPES: Dict[str, CoreConfig] = {
+    "fat_ooo": FAT_OOO,
+    "lean_ooo": LEAN_OOO,
+    "lean_io": LEAN_IO,
+}
+
+
+@dataclass(frozen=True)
+class SpatialRegionConfig:
+    """Spatial-region compaction parameters shared by PIF and SHIFT.
+
+    A spatial region record covers ``region_blocks`` consecutive instruction
+    blocks: the trigger block plus ``region_blocks - 1`` neighbours, encoded
+    as a bit vector (Section 4.1).
+    """
+
+    region_blocks: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.region_blocks >= 2, "a spatial region must cover at least 2 blocks")
+
+    @property
+    def bit_vector_bits(self) -> int:
+        return self.region_blocks - 1
+
+    @property
+    def record_bits(self) -> int:
+        """Bits per spatial region record (trigger block address + bit vector)."""
+        return (BLOCK_ADDRESS_BITS) + self.bit_vector_bits
+
+
+@dataclass(frozen=True)
+class StreamBufferConfig:
+    """Per-core stream address buffer parameters (Section 4.1)."""
+
+    num_streams: int = 4
+    capacity_records: int = 12
+    lookahead_records: int = 5
+
+    def __post_init__(self) -> None:
+        _require(self.num_streams >= 1, "need at least one stream buffer")
+        _require(self.capacity_records >= 1, "stream buffer capacity must be positive")
+        _require(self.lookahead_records >= 1, "lookahead must be at least one record")
+
+
+@dataclass(frozen=True)
+class PIFConfig:
+    """Per-core Proactive Instruction Fetch configuration (Section 5.1)."""
+
+    history_entries: int = 32 * 1024
+    index_entries: int = 8 * 1024
+    spatial_region: SpatialRegionConfig = field(default_factory=SpatialRegionConfig)
+    stream_buffer: StreamBufferConfig = field(default_factory=StreamBufferConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.history_entries >= 1, "history buffer needs at least one entry")
+        _require(self.index_entries >= 1, "index table needs at least one entry")
+
+    @property
+    def history_bits(self) -> int:
+        return self.history_entries * self.spatial_region.record_bits
+
+    @property
+    def index_entry_bits(self) -> int:
+        # Block address tag + pointer into the history buffer.
+        pointer_bits = max(1, (self.history_entries - 1).bit_length())
+        return BLOCK_ADDRESS_BITS + pointer_bits
+
+    @property
+    def index_bits(self) -> int:
+        return self.index_entries * self.index_entry_bits
+
+    @property
+    def storage_bytes_per_core(self) -> int:
+        return (self.history_bits + self.index_bits + 7) // 8
+
+
+@dataclass(frozen=True)
+class SHIFTConfig:
+    """Shared History Instruction Fetch configuration (Section 4)."""
+
+    history_entries: int = 32 * 1024
+    spatial_region: SpatialRegionConfig = field(default_factory=SpatialRegionConfig)
+    stream_buffer: StreamBufferConfig = field(default_factory=StreamBufferConfig)
+    virtualized: bool = True
+    #: Number of spatial-region records packed into a 64-byte LLC block
+    #: (Section 4.2: 41-bit records, 12 per block).
+    records_per_llc_block: int = 12
+    #: History-buffer pointer width stored per LLC tag (15 bits for 32K entries).
+    index_pointer_bits: int = 15
+    #: When True the history read latency is ignored (ZeroLat-SHIFT).
+    zero_latency_history: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.history_entries >= 1, "history buffer needs at least one entry")
+        _require(self.records_per_llc_block >= 1, "need at least one record per LLC block")
+        _require(self.index_pointer_bits >= 1, "index pointer must have at least one bit")
+
+    @property
+    def history_llc_blocks(self) -> int:
+        """Number of LLC cache lines consumed by the virtualized history buffer."""
+        records = self.history_entries
+        per_block = self.records_per_llc_block
+        return (records + per_block - 1) // per_block
+
+    @property
+    def history_llc_bytes(self) -> int:
+        return self.history_llc_blocks * BLOCK_SIZE
+
+    def required_pointer_bits(self) -> int:
+        """Pointer width actually needed to address every history entry."""
+        return max(1, (self.history_entries - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class NextLineConfig:
+    """Simple next-N-line prefetcher configuration."""
+
+    degree: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.degree >= 1, "next-line degree must be at least 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete CMP configuration (Table I)."""
+
+    num_cores: int = 16
+    core: CoreConfig = LEAN_OOO
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2))
+    llc: LLCConfig = field(default_factory=LLCConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: Scale factor relative to the paper configuration (1 = paper scale).
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.num_cores >= 1, "system needs at least one core")
+        _require(
+            self.interconnect.num_tiles >= self.num_cores,
+            "interconnect must have at least one tile per core",
+        )
+        _require(self.scale >= 1, "scale factor must be >= 1")
+
+    def with_core(self, core: CoreConfig) -> "SystemConfig":
+        """Return a copy of this configuration with a different core type."""
+        return replace(self, core=core)
+
+    @property
+    def llc_total_blocks(self) -> int:
+        return self.llc.total_blocks(self.num_cores)
+
+    def llc_demand_latency_cycles(self) -> float:
+        """Average latency of an L1 miss served by the LLC (NoC + bank access)."""
+        round_trip_noc = 2.0 * self.interconnect.average_latency_cycles()
+        return round_trip_noc + self.llc.hit_latency_cycles
+
+    def memory_demand_latency_cycles(self) -> float:
+        """Average latency of an L1 miss served by main memory."""
+        return self.llc_demand_latency_cycles() + self.memory.access_latency_cycles
+
+
+def paper_system(core: CoreConfig = LEAN_OOO, num_cores: int = 16) -> SystemConfig:
+    """The 16-core CMP configuration of Table I, at full paper scale."""
+    return SystemConfig(num_cores=num_cores, core=core)
+
+
+def scaled_system(
+    core: CoreConfig = LEAN_OOO,
+    num_cores: int = 16,
+    scale: int = 16,
+) -> SystemConfig:
+    """A shrunken configuration that preserves the paper's capacity ratios.
+
+    The L1 caches and LLC slices shrink by ``scale``; associativities and
+    latencies are unchanged.  Workload working sets and prefetcher history
+    sizes should be shrunk by the same factor (see
+    :func:`repro.workloads.suite.scaled_workload` and
+    :func:`scaled_shift_config` / :func:`scaled_pif_config`).
+    """
+    _require(scale >= 1, "scale factor must be >= 1")
+    l1_bytes = max(1024, (32 * 1024) // scale)
+    llc_bytes = max(16 * 1024, (512 * 1024) // scale)
+    return SystemConfig(
+        num_cores=num_cores,
+        core=core,
+        l1i=CacheConfig(size_bytes=l1_bytes, associativity=2),
+        l1d=CacheConfig(size_bytes=l1_bytes, associativity=2),
+        llc=LLCConfig(size_bytes_per_core=llc_bytes),
+        scale=scale,
+    )
+
+
+def paper_pif_config(history_entries: int = 32 * 1024) -> PIFConfig:
+    """PIF design point from Section 5.1 (PIF_32K by default)."""
+    index_entries = max(64, history_entries // 4)
+    return PIFConfig(history_entries=history_entries, index_entries=index_entries)
+
+
+def paper_shift_config(history_entries: int = 32 * 1024, **kwargs) -> SHIFTConfig:
+    """SHIFT design point from Section 4.2 (32K shared records by default)."""
+    return SHIFTConfig(history_entries=history_entries, **kwargs)
+
+
+def scaled_pif_config(scale: int = 16, history_entries: int = 32 * 1024) -> PIFConfig:
+    """PIF configuration shrunk by ``scale`` to match :func:`scaled_system`."""
+    entries = max(16, history_entries // scale)
+    return PIFConfig(history_entries=entries, index_entries=max(16, entries // 4))
+
+
+def scaled_shift_config(scale: int = 16, history_entries: int = 32 * 1024, **kwargs) -> SHIFTConfig:
+    """SHIFT configuration shrunk by ``scale`` to match :func:`scaled_system`."""
+    entries = max(16, history_entries // scale)
+    return SHIFTConfig(history_entries=entries, **kwargs)
+
+
+def pif_equal_cost_entries(shift: SHIFTConfig, scale: int = 1) -> Tuple[int, int]:
+    """History / index entries of the equal-storage-cost PIF design (PIF_2K).
+
+    The paper's PIF_2K point gives each core 2K history records and 512 index
+    entries so that the aggregate 16-core storage matches SHIFT's 240 KB index
+    overhead.  We keep the paper's 16:1 ratio between the shared SHIFT history
+    and the per-core equal-cost PIF history.
+    """
+    history = max(4, shift.history_entries // 16)
+    index = max(4, history // 4)
+    return history, index

@@ -1,0 +1,25 @@
+"""Exception types used across the SHIFT reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class PrefetcherError(ReproError):
+    """A prefetcher component was misconfigured or misused."""
+
+
+class StorageError(ReproError):
+    """History-buffer / index-table storage invariants were violated."""

@@ -1,0 +1,59 @@
+"""Synthetic server-workload substrate.
+
+The paper evaluates SHIFT on commercial server workloads (TPC-C on DB2 and
+Oracle, TPC-H queries, Darwin media streaming, Apache/SPECweb99, Nutch web
+search) traced with a full-system simulator.  Neither the workloads nor the
+simulator are available, so this package builds the closest synthetic
+equivalent: a parameterised model of server software that produces per-core
+retire-order instruction-fetch traces with the properties that drive the
+paper's results —
+
+* multi-megabyte-class instruction working sets that exceed the L1-I capacity,
+* recurring request-level control flow (temporal instruction streams) with
+  per-request variation,
+* deep call stacks that create frequent discontinuities in the fetch stream,
+* cross-core homogeneity (every core serves the same request mix), and
+* operating-system noise (traps, interrupts, scheduler invocations).
+
+The public entry points are :class:`repro.workloads.suite.WorkloadSpec`, the
+:data:`repro.workloads.suite.WORKLOAD_SUITE` registry of the paper's seven
+workloads, and :class:`repro.workloads.generator.WorkloadTraceGenerator`.
+"""
+
+from .codebase import BasicBlockRun, CallSite, Function, SyntheticCodeBase, CodeBaseBuilder
+from .request import RequestType, RequestTraceFactory
+from .osnoise import OSNoiseModel
+from .trace import CoreTrace, TraceSet
+from .generator import WorkloadTraceGenerator, generate_traces
+from .suite import (
+    WorkloadSpec,
+    WORKLOAD_SUITE,
+    WORKLOAD_NAMES,
+    workload_by_name,
+    scaled_workload,
+)
+from .consolidation import ConsolidationMix, generate_consolidated_traces
+from .datastream import DataStreamGenerator
+
+__all__ = [
+    "BasicBlockRun",
+    "CallSite",
+    "Function",
+    "SyntheticCodeBase",
+    "CodeBaseBuilder",
+    "RequestType",
+    "RequestTraceFactory",
+    "OSNoiseModel",
+    "CoreTrace",
+    "TraceSet",
+    "WorkloadTraceGenerator",
+    "generate_traces",
+    "WorkloadSpec",
+    "WORKLOAD_SUITE",
+    "WORKLOAD_NAMES",
+    "workload_by_name",
+    "scaled_workload",
+    "ConsolidationMix",
+    "generate_consolidated_traces",
+    "DataStreamGenerator",
+]

@@ -1,0 +1,152 @@
+"""Physical-address-space layout for synthetic workloads.
+
+All addresses handled by the library are *block* addresses: a block address of
+``n`` denotes the 64-byte cache block starting at byte address ``n * 64``.
+Each workload (and each software stack in a consolidated system) receives a
+disjoint window of the block-address space so that instruction footprints of
+different workloads never alias, mirroring separate OS images in the paper's
+consolidation experiments (Section 5.5).
+
+The layout also reserves a window for the SHIFT history buffer (the ``HBBase``
+region of Section 4.2), which is hidden from the "operating system" — i.e. it
+is never handed out to workload code or data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+#: Default base block address for application code of the first workload.
+CODE_REGION_BASE = 0x0010_0000
+#: Spacing between the code regions of consecutive workloads (in blocks).
+CODE_REGION_SPACING = 0x0100_0000
+#: Base block address of the operating-system code shared by a software stack.
+OS_REGION_OFFSET = 0x0080_0000
+#: Base block address for data regions.
+DATA_REGION_BASE = 0x4000_0000
+#: Spacing between data regions of consecutive workloads (in blocks).
+DATA_REGION_SPACING = 0x0400_0000
+#: Base block address reserved for virtualized history buffers (HBBase region).
+HISTORY_REGION_BASE = 0x8000_0000
+#: Spacing between the history buffers of consecutive workloads (in blocks).
+HISTORY_REGION_SPACING = 0x0001_0000
+
+
+@dataclass(frozen=True)
+class AddressWindow:
+    """A contiguous, half-open window ``[base, base + size)`` of block addresses."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ConfigurationError("address window must have a non-negative base and positive size")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, block_address: int) -> bool:
+        return self.base <= block_address < self.end
+
+    def overlaps(self, other: "AddressWindow") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass(frozen=True)
+class WorkloadAddressLayout:
+    """Address-space windows assigned to a single workload instance."""
+
+    workload_index: int
+    application_code: AddressWindow
+    os_code: AddressWindow
+    data: AddressWindow
+    history: AddressWindow
+
+    def all_windows(self) -> List[AddressWindow]:
+        return [self.application_code, self.os_code, self.data, self.history]
+
+
+def layout_for_workload(
+    workload_index: int,
+    application_code_blocks: int,
+    os_code_blocks: int,
+    data_blocks: int,
+    history_blocks: int,
+) -> WorkloadAddressLayout:
+    """Compute disjoint address windows for workload number ``workload_index``.
+
+    Parameters
+    ----------
+    workload_index:
+        Position of the workload (and its software stack) in the system.  Each
+        index receives its own code, data and history windows.
+    application_code_blocks / os_code_blocks / data_blocks / history_blocks:
+        Number of cache blocks to reserve for each region.
+    """
+    if workload_index < 0:
+        raise ConfigurationError("workload index cannot be negative")
+    for name, size in (
+        ("application code", application_code_blocks),
+        ("OS code", os_code_blocks),
+        ("data", data_blocks),
+        ("history", history_blocks),
+    ):
+        if size <= 0:
+            raise ConfigurationError(f"{name} region must have a positive number of blocks")
+        if size >= CODE_REGION_SPACING:
+            raise ConfigurationError(f"{name} region of {size} blocks exceeds its address window")
+
+    code_base = CODE_REGION_BASE + workload_index * CODE_REGION_SPACING
+    layout = WorkloadAddressLayout(
+        workload_index=workload_index,
+        application_code=AddressWindow(code_base, application_code_blocks),
+        os_code=AddressWindow(code_base + OS_REGION_OFFSET, os_code_blocks),
+        data=AddressWindow(DATA_REGION_BASE + workload_index * DATA_REGION_SPACING, data_blocks),
+        history=AddressWindow(
+            HISTORY_REGION_BASE + workload_index * HISTORY_REGION_SPACING, history_blocks
+        ),
+    )
+    windows = layout.all_windows()
+    for i, first in enumerate(windows):
+        for second in windows[i + 1 :]:
+            if first.overlaps(second):
+                raise ConfigurationError("internal error: workload address windows overlap")
+    return layout
+
+
+class BlockAllocator:
+    """Sequential allocator of contiguous block-address ranges inside a window."""
+
+    def __init__(self, window: AddressWindow) -> None:
+        self._window = window
+        self._next = window.base
+
+    @property
+    def window(self) -> AddressWindow:
+        return self._window
+
+    @property
+    def allocated_blocks(self) -> int:
+        return self._next - self._window.base
+
+    @property
+    def remaining_blocks(self) -> int:
+        return self._window.end - self._next
+
+    def allocate(self, num_blocks: int) -> int:
+        """Reserve ``num_blocks`` contiguous blocks and return the base address."""
+        if num_blocks <= 0:
+            raise ConfigurationError("cannot allocate a non-positive number of blocks")
+        if self._next + num_blocks > self._window.end:
+            raise ConfigurationError(
+                f"address window exhausted: requested {num_blocks} blocks, "
+                f"only {self.remaining_blocks} remain"
+            )
+        base = self._next
+        self._next += num_blocks
+        return base
