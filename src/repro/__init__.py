@@ -1,0 +1,19 @@
+"""Reproduction of SHIFT: shared history instruction fetch (MICRO 2013).
+
+Subpackages
+-----------
+``repro.config``
+    Table I system/application parameters and scaled design points.
+``repro.workloads``
+    Synthetic server-workload substrate producing per-core fetch traces.
+``repro.sim``
+    Trace-driven L1-I cache, prefetcher engines and the timing model.
+``repro.experiments``
+    End-to-end drivers comparing no-prefetch, next-line, PIF and SHIFT.
+"""
+
+__version__ = "0.1.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]

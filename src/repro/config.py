@@ -158,9 +158,13 @@ class CoreConfig:
     frequency_hz: int = CORE_FREQUENCY_HZ
 
     def __post_init__(self) -> None:
-        _require(self.kind in {"fat_ooo", "lean_ooo", "lean_io"}, f"unknown core kind {self.kind!r}")
+        _require(
+            self.kind in {"fat_ooo", "lean_ooo", "lean_io"}, f"unknown core kind {self.kind!r}"
+        )
         _require(self.dispatch_width > 0, "dispatch width must be positive")
-        _require(0.0 < self.base_ipc <= self.dispatch_width, "base IPC must be in (0, dispatch width]")
+        _require(
+            0.0 < self.base_ipc <= self.dispatch_width, "base IPC must be in (0, dispatch width]"
+        )
         _require(0.0 < self.stall_exposure <= 1.0, "stall exposure must be in (0, 1]")
         _require(self.area_mm2 > 0.0, "core area must be positive")
 
@@ -330,8 +334,12 @@ class SystemConfig:
 
     num_cores: int = 16
     core: CoreConfig = LEAN_OOO
-    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2))
-    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2))
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=2)
+    )
     llc: LLCConfig = field(default_factory=LLCConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -425,7 +433,12 @@ def pif_equal_cost_entries(shift: SHIFTConfig, scale: int = 1) -> Tuple[int, int
     entries so that the aggregate 16-core storage matches SHIFT's 240 KB index
     overhead.  We keep the paper's 16:1 ratio between the shared SHIFT history
     and the per-core equal-cost PIF history.
+
+    ``shift`` is the *paper-scale* SHIFT configuration; pass the same
+    ``scale`` used for :func:`scaled_system` to shrink the equal-cost point
+    together with the rest of the scaled system.
     """
-    history = max(4, shift.history_entries // 16)
+    _require(scale >= 1, "scale factor must be >= 1")
+    history = max(4, shift.history_entries // (16 * scale))
     index = max(4, history // 4)
     return history, index

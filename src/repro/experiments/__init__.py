@@ -1,0 +1,218 @@
+"""End-to-end experiment drivers.
+
+:func:`run_experiment` reproduces the paper's headline comparison: for every
+workload in the suite it generates per-core fetch traces, simulates the
+no-prefetch baseline and the next-line, PIF and SHIFT engines, and reports
+L1-I miss coverage and speedup over the baseline.  The expected qualitative
+result (Figures 6–7 of the paper) is SHIFT ≈ PIF ≫ next-line ≫ none on the
+large-footprint server workloads.
+
+Run it from the command line::
+
+    python -m repro.experiments --system scaled
+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import (
+    SystemConfig,
+    paper_pif_config,
+    paper_shift_config,
+    paper_system,
+    scaled_pif_config,
+    scaled_shift_config,
+    scaled_system,
+)
+from ..errors import ConfigurationError
+from ..sim import SimulationResult, simulate
+from ..sim.timing import weighted_speedup
+from ..workloads.generator import generate_traces
+from ..workloads.suite import WORKLOAD_NAMES, scaled_workload, workload_by_name
+
+#: Engines compared by the default experiment, in report order.
+DEFAULT_ENGINES: Tuple[str, ...] = ("none", "next_line", "pif", "shift")
+
+
+@dataclass
+class EngineOutcome:
+    """Coverage and speedup of one engine on one workload."""
+
+    engine: str
+    coverage: float
+    speedup: float
+    mpki: float
+    prefetch_accuracy: float
+
+
+@dataclass
+class ExperimentRow:
+    """All engine outcomes for one workload."""
+
+    workload: str
+    baseline_mpki: float
+    baseline_miss_ratio: float
+    outcomes: Dict[str, EngineOutcome] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentReport:
+    """The full comparison across the workload suite."""
+
+    system_name: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def check_paper_ordering(self, tolerance: float = 0.10) -> List[str]:
+        """Verify the paper's qualitative result on every row.
+
+        Returns a list of violations (empty means the reproduction holds):
+        SHIFT's coverage must be within ``tolerance`` (relative) of PIF's,
+        and both must exceed next-line's.
+        """
+        violations: List[str] = []
+        for row in self.rows:
+            try:
+                next_line = row.outcomes["next_line"]
+                pif = row.outcomes["pif"]
+                shift = row.outcomes["shift"]
+            except KeyError:
+                violations.append(f"{row.workload}: missing engine results")
+                continue
+            if shift.coverage < pif.coverage * (1.0 - tolerance):
+                violations.append(
+                    f"{row.workload}: SHIFT coverage {shift.coverage:.3f} more than "
+                    f"{tolerance:.0%} below PIF's {pif.coverage:.3f}"
+                )
+            if pif.coverage <= next_line.coverage:
+                violations.append(
+                    f"{row.workload}: PIF coverage {pif.coverage:.3f} does not exceed "
+                    f"next-line's {next_line.coverage:.3f}"
+                )
+            if shift.coverage <= next_line.coverage:
+                violations.append(
+                    f"{row.workload}: SHIFT coverage {shift.coverage:.3f} does not exceed "
+                    f"next-line's {next_line.coverage:.3f}"
+                )
+        return violations
+
+
+def _system_for(name: str, scale: int) -> SystemConfig:
+    if name == "paper":
+        return paper_system()
+    if name == "scaled":
+        return scaled_system(scale=scale)
+    raise ConfigurationError(f"unknown system {name!r}; known: paper, scaled")
+
+
+def run_experiment(
+    system: str = "scaled",
+    scale: int = 16,
+    workloads: Optional[Sequence[str]] = None,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    num_cores: Optional[int] = None,
+    blocks_per_core: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Run the prefetcher comparison and return a report.
+
+    ``system`` selects the paper-scale or shrunken configuration; workload
+    footprints and prefetcher histories are shrunk by the same ``scale`` so
+    the capacity ratios of the paper are preserved.
+    """
+    sys_config = _system_for(system, scale)
+    effective_scale = sys_config.scale
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    if "none" not in engines:
+        raise ConfigurationError("the engine list must include the 'none' baseline")
+
+    if effective_scale > 1:
+        pif_config = scaled_pif_config(effective_scale)
+        shift_config = scaled_shift_config(effective_scale)
+    else:
+        pif_config = paper_pif_config()
+        shift_config = paper_shift_config()
+
+    report = ExperimentReport(system_name=system)
+    for name in names:
+        spec = scaled_workload(workload_by_name(name), effective_scale)
+        trace_set = generate_traces(
+            spec,
+            sys_config,
+            seed=seed,
+            num_cores=num_cores,
+            blocks_per_core=blocks_per_core,
+        )
+        results: Dict[str, SimulationResult] = {}
+        for engine in engines:
+            results[engine] = simulate(
+                trace_set,
+                sys_config,
+                engine,
+                **(
+                    {"pif_config": pif_config}
+                    if engine == "pif"
+                    else {"shift_config": shift_config}
+                    if engine == "shift"
+                    else {}
+                ),
+            )
+        baseline = results["none"]
+        row = ExperimentRow(
+            workload=name,
+            baseline_mpki=baseline.mpki,
+            baseline_miss_ratio=baseline.miss_ratio,
+        )
+        for engine, result in results.items():
+            if engine == "none":
+                continue
+            issued = sum(c.prefetches_issued for c in result.cores)
+            useful = sum(c.prefetch_hits + c.late_hits for c in result.cores)
+            row.outcomes[engine] = EngineOutcome(
+                engine=engine,
+                coverage=result.coverage_vs(baseline),
+                speedup=weighted_speedup(result, baseline, sys_config),
+                mpki=result.mpki,
+                prefetch_accuracy=useful / issued if issued else 0.0,
+            )
+        report.rows.append(row)
+    return report
+
+
+def format_report(report: ExperimentReport) -> str:
+    """Render a report as a fixed-width comparison table."""
+    # Column order: the engines actually present in the report, default
+    # engines first, so subset runs and future engines both render.
+    present: List[str] = []
+    for row in report.rows:
+        for engine in row.outcomes:
+            if engine not in present:
+                present.append(engine)
+    engines = [e for e in DEFAULT_ENGINES if e in present]
+    engines += [e for e in present if e not in engines]
+    header = f"{'workload':<16} {'base MPKI':>9}"
+    for engine in engines:
+        header += f" {engine + ' cov':>13} {engine + ' spd':>13}"
+    lines = [f"system: {report.system_name}", header, "-" * len(header)]
+    for row in report.rows:
+        line = f"{row.workload:<16} {row.baseline_mpki:>9.1f}"
+        for engine in engines:
+            outcome = row.outcomes.get(engine)
+            if outcome is None:
+                line += f" {'-':>13} {'-':>13}"
+            else:
+                line += f" {outcome.coverage:>12.1%} {outcome.speedup:>12.2f}x"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_ENGINES",
+    "EngineOutcome",
+    "ExperimentRow",
+    "ExperimentReport",
+    "run_experiment",
+    "format_report",
+]

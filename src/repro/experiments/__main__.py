@@ -1,0 +1,83 @@
+"""Command-line driver: ``python -m repro.experiments --system scaled``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..errors import ReproError
+from ..workloads.suite import WORKLOAD_NAMES
+from . import format_report, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Compare no-prefetch, next-line, PIF and SHIFT on the workload suite.",
+    )
+    parser.add_argument(
+        "--system",
+        choices=("scaled", "paper"),
+        default="scaled",
+        help="system configuration (default: scaled)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=16,
+        help="shrink factor for the scaled system (default: 16)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help=f"comma-separated subset of: {', '.join(WORKLOAD_NAMES)}",
+    )
+    parser.add_argument("--cores", type=int, default=None, help="cores to trace (default: all)")
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help="trace length per core in blocks (default: per-workload)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed (default: 0)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless SHIFT is within 10%% of PIF and both beat next-line",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    workloads = args.workloads.split(",") if args.workloads else None
+    started = time.time()
+    try:
+        report = run_experiment(
+            system=args.system,
+            scale=args.scale,
+            workloads=workloads,
+            num_cores=args.cores,
+            blocks_per_core=args.blocks,
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    print(f"({time.time() - started:.1f}s)")
+    violations = report.check_paper_ordering()
+    if violations:
+        print("paper-ordering violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        if args.check:
+            return 1
+    elif args.check:
+        print("paper ordering holds: SHIFT within 10% of PIF, both above next-line")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Trace-driven simulation of the L1-I hierarchy and fetch prefetchers.
+
+The subsystem has three layers:
+
+* :mod:`repro.sim.cache` — a set-associative, LRU L1-I model plus the small
+  FIFO prefetch buffer that stands in for PIF/SHIFT stream storage.
+* :mod:`repro.sim.prefetchers` — the engines compared in the paper:
+  no-prefetch, next-line, per-core PIF, and shared (optionally virtualized)
+  SHIFT, built from spatial-region compaction, a circular history buffer, an
+  index table and per-core stream buffers.
+* :mod:`repro.sim.engine` / :mod:`repro.sim.timing` — the round-robin
+  multi-core simulation loop and the stall-exposure timing model that turns
+  per-core miss counts into IPC.
+"""
+
+from .cache import PrefetchBuffer, SetAssociativeCache
+from .engine import CoreResult, SimulationEngine, SimulationResult, simulate
+from .prefetchers import (
+    HistoryBuffer,
+    IndexTable,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    PIFPrefetcher,
+    Prefetcher,
+    SHIFTPrefetcher,
+    SpatialCompactor,
+    make_prefetcher,
+)
+from .timing import CoreTiming, core_timing, weighted_speedup
+
+__all__ = [
+    "SetAssociativeCache",
+    "PrefetchBuffer",
+    "Prefetcher",
+    "NullPrefetcher",
+    "NextLinePrefetcher",
+    "PIFPrefetcher",
+    "SHIFTPrefetcher",
+    "SpatialCompactor",
+    "HistoryBuffer",
+    "IndexTable",
+    "make_prefetcher",
+    "SimulationEngine",
+    "SimulationResult",
+    "CoreResult",
+    "simulate",
+    "CoreTiming",
+    "core_timing",
+    "weighted_speedup",
+]

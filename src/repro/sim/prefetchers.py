@@ -1,0 +1,443 @@
+"""Instruction prefetcher engines.
+
+All engines implement the :class:`Prefetcher` interface: the simulation loop
+calls :meth:`Prefetcher.on_access` for every retire-order demand access with
+its outcome (cache hit, prefetch-buffer hit, or miss) and receives a list of
+block addresses to prefetch for that core.
+
+The temporal-streaming machinery (PIF and SHIFT) is built from four pieces,
+mirroring Sections 4.1–4.2 of the paper:
+
+* :class:`SpatialCompactor` — folds the retire-order block stream into
+  *spatial region records* ``(trigger block, bit vector)``;
+* :class:`HistoryBuffer` — a circular buffer of records with absolute write
+  positions, so stale index pointers are detected after wrap-around;
+* :class:`IndexTable` — maps a trigger block to the most recent history
+  position where a record with that trigger was written;
+* :class:`StreamEngine` — per-core stream buffers that replay the history:
+  an index hit on a miss dispatches a stream with ``lookahead_records``
+  records, and each prefetch-buffer hit advances its stream by one record.
+
+PIF instantiates all four per core; SHIFT shares one history and one index
+among all cores, trains them from a single designated core, and (when
+``virtualized``) accounts the LLC blocks read to fetch history records.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..config import NextLineConfig, PIFConfig, SHIFTConfig, StreamBufferConfig, SystemConfig
+from ..errors import PrefetcherError
+
+#: Demand-access outcomes passed to :meth:`Prefetcher.on_access`.
+HIT = 0
+MISS = 1
+PREFETCH_HIT = 2
+
+#: A spatial region record: (trigger block address, neighbour bit mask).
+Record = Tuple[int, int]
+
+
+class Prefetcher:
+    """Base class: never prefetches."""
+
+    name = "none"
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        """Observe one retire-order access; return blocks to prefetch."""
+        return []
+
+    def history_block_reads(self, core_id: int) -> int:
+        """LLC blocks read for history records on behalf of ``core_id``."""
+        return 0
+
+
+class NullPrefetcher(Prefetcher):
+    """Explicit no-prefetch baseline."""
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Tagged next-N-line prefetcher.
+
+    Issues on misses and on first use of a prefetched block, which lets it
+    run ahead through sequential basic-block runs but gives it nothing at
+    control-flow discontinuities — the weakness the paper's Figure 6 shows.
+    """
+
+    name = "next_line"
+
+    def __init__(self, config: Optional[NextLineConfig] = None) -> None:
+        self._config = config if config is not None else NextLineConfig()
+        self._degree = self._config.degree
+
+    @property
+    def config(self) -> NextLineConfig:
+        return self._config
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        if outcome == HIT:
+            return []
+        return list(range(block_address + 1, block_address + 1 + self._degree))
+
+
+class SpatialCompactor:
+    """Folds a retire-order block stream into spatial region records."""
+
+    __slots__ = ("_region_blocks", "_trigger", "_mask")
+
+    def __init__(self, region_blocks: int) -> None:
+        if region_blocks < 2:
+            raise PrefetcherError("a spatial region must cover at least 2 blocks")
+        self._region_blocks = region_blocks
+        self._trigger: Optional[int] = None
+        self._mask = 0
+
+    def feed(self, block_address: int) -> Optional[Record]:
+        """Consume one access; return a completed record when a region closes."""
+        trigger = self._trigger
+        if trigger is None:
+            self._trigger = block_address
+            self._mask = 0
+            return None
+        offset = block_address - trigger
+        if 0 <= offset < self._region_blocks:
+            if offset > 0:
+                self._mask |= 1 << (offset - 1)
+            return None
+        record = (trigger, self._mask)
+        self._trigger = block_address
+        self._mask = 0
+        return record
+
+    def flush(self) -> Optional[Record]:
+        """Close and return the open region, if any."""
+        if self._trigger is None:
+            return None
+        record = (self._trigger, self._mask)
+        self._trigger = None
+        self._mask = 0
+        return record
+
+
+def expand_record(record: Record, region_blocks: int) -> List[int]:
+    """Block addresses covered by a record, trigger first."""
+    trigger, mask = record
+    blocks = [trigger]
+    for offset in range(1, region_blocks):
+        if mask & (1 << (offset - 1)):
+            blocks.append(trigger + offset)
+    return blocks
+
+
+class HistoryBuffer:
+    """Circular record buffer addressed by monotonically increasing positions."""
+
+    __slots__ = ("_capacity", "_records", "_next_pos")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise PrefetcherError("history buffer needs a positive capacity")
+        self._capacity = capacity
+        self._records: List[Optional[Record]] = [None] * capacity
+        self._next_pos = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def writes(self) -> int:
+        return self._next_pos
+
+    def append(self, record: Record) -> int:
+        """Store a record, overwriting the oldest; returns its position."""
+        pos = self._next_pos
+        self._records[pos % self._capacity] = record
+        self._next_pos = pos + 1
+        return pos
+
+    def valid(self, pos: int) -> bool:
+        return 0 <= pos < self._next_pos and pos >= self._next_pos - self._capacity
+
+    def get(self, pos: int) -> Optional[Record]:
+        """Return the record at ``pos`` or None if overwritten / never written."""
+        if not self.valid(pos):
+            return None
+        return self._records[pos % self._capacity]
+
+
+class IndexTable:
+    """Bounded trigger-block → history-position map with FIFO replacement."""
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise PrefetcherError("index table needs a positive capacity")
+        self._capacity = capacity
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, trigger: int, pos: int) -> None:
+        entries = self._entries
+        if trigger in entries:
+            entries[trigger] = pos
+            entries.move_to_end(trigger)
+            return
+        entries[trigger] = pos
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def get(self, trigger: int) -> Optional[int]:
+        return self._entries.get(trigger)
+
+
+class _Stream:
+    """One active temporal stream: its read cursor and outstanding blocks."""
+
+    __slots__ = ("next_pos", "outstanding", "last_llc_block")
+
+    def __init__(self, next_pos: int) -> None:
+        self.next_pos = next_pos
+        self.outstanding: set[int] = set()
+        self.last_llc_block = -1
+
+
+class StreamEngine:
+    """Per-core stream buffers replaying a (possibly shared) history."""
+
+    def __init__(
+        self,
+        history: HistoryBuffer,
+        index: IndexTable,
+        stream_config: StreamBufferConfig,
+        region_blocks: int,
+        records_per_llc_block: int = 0,
+    ) -> None:
+        self._history = history
+        self._index = index
+        self._config = stream_config
+        self._region_blocks = region_blocks
+        self._records_per_llc_block = records_per_llc_block
+        self._streams: List[_Stream] = []
+        self._owner: Dict[int, _Stream] = {}
+        self.dispatches = 0
+        self.record_reads = 0
+        self.llc_block_reads = 0
+
+    def _read_record(self, stream: _Stream) -> List[int]:
+        record = self._history.get(stream.next_pos)
+        if record is None:
+            return []
+        if self._records_per_llc_block:
+            llc_block = stream.next_pos // self._records_per_llc_block
+            if llc_block != stream.last_llc_block:
+                stream.last_llc_block = llc_block
+                self.llc_block_reads += 1
+        stream.next_pos += 1
+        self.record_reads += 1
+        return expand_record(record, self._region_blocks)
+
+    def _track(self, stream: _Stream, blocks: List[int]) -> List[int]:
+        fresh = []
+        owner = self._owner
+        for block in blocks:
+            if block not in owner:
+                owner[block] = stream
+                stream.outstanding.add(block)
+                fresh.append(block)
+        return fresh
+
+    def _retire_stream(self, stream: _Stream) -> None:
+        for block in stream.outstanding:
+            self._owner.pop(block, None)
+        stream.outstanding.clear()
+
+    def on_miss(self, block_address: int) -> List[int]:
+        """Index lookup on a demand miss; dispatch a new stream on a hit."""
+        # The block may have been tracked by a stream whose prefetch never
+        # reached the demand (skipped or evicted); drop the stale claim.
+        stale = self._owner.pop(block_address, None)
+        if stale is not None:
+            stale.outstanding.discard(block_address)
+        pos = self._index.get(block_address)
+        if pos is None or not self._history.valid(pos):
+            return []
+        stream = _Stream(pos)
+        if len(self._streams) >= self._config.num_streams:
+            self._retire_stream(self._streams.pop(0))
+        self._streams.append(stream)
+        self.dispatches += 1
+        blocks: List[int] = []
+        for _ in range(self._config.lookahead_records):
+            blocks.extend(self._read_record(stream))
+        prefetches = self._track(stream, blocks)
+        # The trigger itself just missed; no point prefetching it.
+        return [b for b in prefetches if b != block_address]
+
+    def on_consume(self, block_address: int) -> List[int]:
+        """Advance the stream tracking ``block_address`` by one record.
+
+        Called on every non-miss demand access: the looked-ahead block may be
+        served from the prefetch buffer or may already have been
+        cache-resident when its prefetch was issued — either way the fetch
+        stream has caught up by one block, so the stream reads ahead.
+        """
+        stream = self._owner.pop(block_address, None)
+        if stream is None:
+            return []
+        stream.outstanding.discard(block_address)
+        if len(stream.outstanding) >= self._config.capacity_records * self._region_blocks:
+            return []
+        return self._track(stream, self._read_record(stream))
+
+
+class PIFPrefetcher(Prefetcher):
+    """Proactive Instruction Fetch: private history, index and streams per core."""
+
+    name = "pif"
+
+    def __init__(self, num_cores: int, config: Optional[PIFConfig] = None) -> None:
+        if num_cores < 1:
+            raise PrefetcherError("need at least one core")
+        self._config = config if config is not None else PIFConfig()
+        region_blocks = self._config.spatial_region.region_blocks
+        self._compactors = [SpatialCompactor(region_blocks) for _ in range(num_cores)]
+        self._histories = [HistoryBuffer(self._config.history_entries) for _ in range(num_cores)]
+        self._indices = [IndexTable(self._config.index_entries) for _ in range(num_cores)]
+        self._streams = [
+            StreamEngine(
+                self._histories[core],
+                self._indices[core],
+                self._config.stream_buffer,
+                region_blocks,
+            )
+            for core in range(num_cores)
+        ]
+
+    @property
+    def config(self) -> PIFConfig:
+        return self._config
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        record = self._compactors[core_id].feed(block_address)
+        if record is not None:
+            pos = self._histories[core_id].append(record)
+            self._indices[core_id].put(record[0], pos)
+        if outcome == MISS:
+            return self._streams[core_id].on_miss(block_address)
+        return self._streams[core_id].on_consume(block_address)
+
+
+class SHIFTPrefetcher(Prefetcher):
+    """Shared History Instruction Fetch.
+
+    One history buffer and one index serve every core; a single designated
+    core generates the history (Section 4: "a single core generates the
+    shared history on behalf of all cores executing the same workload").
+    When ``config.virtualized`` is set, reads of history records are
+    accounted as LLC block reads (``records_per_llc_block`` records per
+    64-byte block), which the timing model charges unless
+    ``zero_latency_history`` is set.
+    """
+
+    name = "shift"
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: Optional[SHIFTConfig] = None,
+        trainer_core: int = 0,
+    ) -> None:
+        if num_cores < 1:
+            raise PrefetcherError("need at least one core")
+        if not (0 <= trainer_core < num_cores):
+            raise PrefetcherError("trainer core out of range")
+        self._config = config if config is not None else SHIFTConfig()
+        self._trainer_core = trainer_core
+        region_blocks = self._config.spatial_region.region_blocks
+        self._compactor = SpatialCompactor(region_blocks)
+        self._history = HistoryBuffer(self._config.history_entries)
+        # The virtualized index lives in LLC tags and can track every history
+        # entry, so the index capacity matches the history capacity.
+        self._index = IndexTable(self._config.history_entries)
+        records_per_block = (
+            self._config.records_per_llc_block if self._config.virtualized else 0
+        )
+        self._streams = [
+            StreamEngine(
+                self._history,
+                self._index,
+                self._config.stream_buffer,
+                region_blocks,
+                records_per_llc_block=records_per_block,
+            )
+            for _ in range(num_cores)
+        ]
+
+    @property
+    def config(self) -> SHIFTConfig:
+        return self._config
+
+    @property
+    def trainer_core(self) -> int:
+        return self._trainer_core
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        if core_id == self._trainer_core:
+            record = self._compactor.feed(block_address)
+            if record is not None:
+                pos = self._history.append(record)
+                self._index.put(record[0], pos)
+        if outcome == MISS:
+            return self._streams[core_id].on_miss(block_address)
+        return self._streams[core_id].on_consume(block_address)
+
+    def history_block_reads(self, core_id: int) -> int:
+        if self._config.zero_latency_history or not self._config.virtualized:
+            return 0
+        return self._streams[core_id].llc_block_reads
+
+
+def make_prefetcher(
+    name: str,
+    system: SystemConfig,
+    pif_config: Optional[PIFConfig] = None,
+    shift_config: Optional[SHIFTConfig] = None,
+    next_line_config: Optional[NextLineConfig] = None,
+) -> Prefetcher:
+    """Factory mapping an engine name to a configured prefetcher instance."""
+    if name in ("none", "baseline"):
+        return NullPrefetcher()
+    if name in ("next_line", "nextline", "nl"):
+        return NextLinePrefetcher(next_line_config)
+    if name == "pif":
+        return PIFPrefetcher(system.num_cores, pif_config)
+    if name == "shift":
+        return SHIFTPrefetcher(system.num_cores, shift_config)
+    raise PrefetcherError(
+        f"unknown prefetcher {name!r}; known: none, next_line, pif, shift"
+    )
+
+
+__all__ = [
+    "HIT",
+    "MISS",
+    "PREFETCH_HIT",
+    "Record",
+    "Prefetcher",
+    "NullPrefetcher",
+    "NextLinePrefetcher",
+    "SpatialCompactor",
+    "expand_record",
+    "HistoryBuffer",
+    "IndexTable",
+    "StreamEngine",
+    "PIFPrefetcher",
+    "SHIFTPrefetcher",
+    "make_prefetcher",
+]

@@ -44,7 +44,9 @@ class AddressWindow:
 
     def __post_init__(self) -> None:
         if self.base < 0 or self.size <= 0:
-            raise ConfigurationError("address window must have a non-negative base and positive size")
+            raise ConfigurationError(
+                "address window must have a non-negative base and positive size"
+            )
 
     @property
     def end(self) -> int:

@@ -1,0 +1,269 @@
+"""Synthetic instruction code bases.
+
+A :class:`SyntheticCodeBase` is a parameterised stand-in for the binary of a
+commercial server application: a set of functions, each a short sequence of
+straight-line *basic-block runs*, connected by call sites.  The layout of the
+functions in the (block) address space is produced by a
+:class:`~repro.workloads.address_space.BlockAllocator`, so a function occupies
+a contiguous range of cache blocks and different functions occupy disjoint
+ranges inside the workload's application-code window.
+
+The design goal is to reproduce the *statistical* properties of server
+instruction streams that drive the paper's results rather than any particular
+program: multi-megabyte footprints, short sequential runs (a handful of cache
+blocks) separated by control-flow discontinuities, and a deep, largely acyclic
+call structure.  Call sites carry a *taken probability* so that two executions
+of the same function can differ, which is what limits the coverage of any
+history-based prefetcher on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .address_space import AddressWindow, BlockAllocator
+
+
+@dataclass(frozen=True)
+class BasicBlockRun:
+    """A straight-line run of ``num_blocks`` consecutive instruction blocks."""
+
+    base: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.num_blocks <= 0:
+            raise ConfigurationError("basic-block run must have a valid base and positive length")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.num_blocks
+
+    def blocks(self) -> Iterator[int]:
+        """Block addresses of the run, in fetch order."""
+        return iter(range(self.base, self.end))
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call made after run number ``run_index`` of the caller completes.
+
+    ``probability`` is the chance the call is taken on a given execution;
+    mandatory calls use 1.0, optional (input-dependent) calls use less.
+    """
+
+    run_index: int
+    callee: int
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.run_index < 0:
+            raise ConfigurationError("call site run index cannot be negative")
+        if not (0.0 < self.probability <= 1.0):
+            raise ConfigurationError("call probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Function:
+    """A synthetic function: contiguous basic-block runs plus call sites."""
+
+    fid: int
+    runs: Tuple[BasicBlockRun, ...]
+    call_sites: Tuple[CallSite, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ConfigurationError("a function needs at least one basic-block run")
+        for site in self.call_sites:
+            if site.run_index >= len(self.runs):
+                raise ConfigurationError("call site placed after a run the function does not have")
+
+    @property
+    def first_block(self) -> int:
+        return self.runs[0].base
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(run.num_blocks for run in self.runs)
+
+    def calls_after_run(self, run_index: int) -> List[CallSite]:
+        return [site for site in self.call_sites if site.run_index == run_index]
+
+
+@dataclass(frozen=True)
+class SyntheticCodeBase:
+    """The full set of functions of one synthetic application binary."""
+
+    functions: Tuple[Function, ...]
+    window: AddressWindow
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ConfigurationError("a code base needs at least one function")
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def footprint_blocks(self) -> int:
+        return sum(func.num_blocks for func in self.functions)
+
+    def function(self, fid: int) -> Function:
+        return self.functions[fid]
+
+    def walk(
+        self,
+        fid: int,
+        rng: Random,
+        out: List[int],
+        max_depth: int,
+        _depth: int = 0,
+    ) -> None:
+        """Emit the fetch stream of one execution of function ``fid``.
+
+        Block addresses are appended to ``out`` in retire order.  Optional
+        call sites are decided with ``rng``, which is what makes two
+        executions of the same request differ.
+        """
+        func = self.functions[fid]
+        for run_index, run in enumerate(func.runs):
+            out.extend(run.blocks())
+            if _depth >= max_depth:
+                continue
+            for site in func.calls_after_run(run_index):
+                if site.probability >= 1.0 or rng.random() < site.probability:
+                    self.walk(site.callee, rng, out, max_depth, _depth + 1)
+
+
+@dataclass
+class CodeBaseBuilder:
+    """Builds a :class:`SyntheticCodeBase` inside an address window.
+
+    Parameters mirror the knobs of :class:`repro.workloads.suite.WorkloadSpec`:
+
+    target_blocks:
+        Instruction footprint to lay out (the builder stops once the
+        allocator has handed out at least this many blocks).
+    mean_run_blocks:
+        Mean length of a basic-block run (geometric distribution, min 1).
+    max_runs_per_function:
+        Functions have between 1 and this many runs.
+    call_fanout:
+        Mean number of call sites per function (calls target functions with a
+        *larger* fid, so the static call graph is acyclic).
+    optional_call_fraction / optional_call_probability:
+        Fraction of call sites that are optional, and the probability an
+        optional site is taken on a given execution.
+    """
+
+    allocator: BlockAllocator
+    target_blocks: int
+    mean_run_blocks: float = 3.0
+    max_runs_per_function: int = 3
+    call_fanout: float = 1.5
+    optional_call_fraction: float = 0.25
+    optional_call_probability: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_blocks <= 0:
+            raise ConfigurationError("code base target footprint must be positive")
+        if self.target_blocks > self.allocator.remaining_blocks:
+            raise ConfigurationError(
+                f"target footprint of {self.target_blocks} blocks does not fit in the "
+                f"window ({self.allocator.remaining_blocks} blocks remain)"
+            )
+        if self.mean_run_blocks < 1.0:
+            raise ConfigurationError("mean run length must be at least one block")
+        if self.max_runs_per_function < 1:
+            raise ConfigurationError("functions need at least one run")
+        if not (0.0 <= self.optional_call_fraction <= 1.0):
+            raise ConfigurationError("optional call fraction must be in [0, 1]")
+        if not (0.0 < self.optional_call_probability <= 1.0):
+            raise ConfigurationError("optional call probability must be in (0, 1]")
+
+    def _draw_run_length(self, rng: Random) -> int:
+        # Geometric with the requested mean: p = 1 / mean.
+        p = 1.0 / self.mean_run_blocks
+        length = 1
+        while rng.random() > p:
+            length += 1
+        return length
+
+    def build(self) -> SyntheticCodeBase:
+        rng = Random(self.seed)
+        window = self.allocator.window
+
+        # Phase 1: lay the functions out contiguously.
+        skeletons: List[Tuple[BasicBlockRun, ...]] = []
+        laid_out = 0
+        while laid_out < self.target_blocks:
+            num_runs = rng.randint(1, self.max_runs_per_function)
+            runs: List[BasicBlockRun] = []
+            for _ in range(num_runs):
+                length = min(self._draw_run_length(rng), self.allocator.remaining_blocks)
+                if length == 0:
+                    break
+                base = self.allocator.allocate(length)
+                runs.append(BasicBlockRun(base=base, num_blocks=length))
+                laid_out += length
+            if runs:
+                skeletons.append(tuple(runs))
+            if self.allocator.remaining_blocks == 0:
+                break
+
+        # Phase 2: wire the call graph (forward edges only, so it is acyclic).
+        functions: List[Function] = []
+        num_functions = len(skeletons)
+        for fid, runs in enumerate(skeletons):
+            sites: List[CallSite] = []
+            if fid + 1 < num_functions:
+                num_calls = 0
+                while rng.random() < self.call_fanout / (self.call_fanout + 1.0):
+                    num_calls += 1
+                    if num_calls >= 4:
+                        break
+                for _ in range(num_calls):
+                    callee = rng.randint(fid + 1, num_functions - 1)
+                    run_index = rng.randrange(len(runs))
+                    probability = 1.0
+                    if rng.random() < self.optional_call_fraction:
+                        probability = self.optional_call_probability
+                    sites.append(
+                        CallSite(run_index=run_index, callee=callee, probability=probability)
+                    )
+            functions.append(Function(fid=fid, runs=runs, call_sites=tuple(sites)))
+
+        return SyntheticCodeBase(functions=tuple(functions), window=window)
+
+
+def footprint_histogram(codebase: SyntheticCodeBase) -> Dict[int, int]:
+    """Histogram of function sizes (blocks), useful for sanity checks."""
+    histogram: Dict[int, int] = {}
+    for func in codebase.functions:
+        histogram[func.num_blocks] = histogram.get(func.num_blocks, 0) + 1
+    return histogram
+
+
+def roots(codebase: SyntheticCodeBase, limit: int | None = None) -> Sequence[int]:
+    """Function ids that no other function calls (request entry candidates)."""
+    called = {site.callee for func in codebase.functions for site in func.call_sites}
+    result = [func.fid for func in codebase.functions if func.fid not in called]
+    if not result:
+        result = [codebase.functions[0].fid]
+    return result[:limit] if limit is not None else result
+
+
+__all__ = [
+    "BasicBlockRun",
+    "CallSite",
+    "Function",
+    "SyntheticCodeBase",
+    "CodeBaseBuilder",
+    "footprint_histogram",
+    "roots",
+]

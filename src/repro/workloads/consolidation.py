@@ -1,0 +1,110 @@
+"""Workload consolidation (Section 5.5 of the paper).
+
+In consolidated servers several independent software stacks share one CMP.
+Instruction footprints of the stacks do not overlap (separate OS images), so
+a shared history either splits capacity between the stacks (one logical SHIFT
+per workload) or interleaves records of all of them.  This module models the
+address-space side of that experiment: a :class:`ConsolidationMix` assigns
+disjoint groups of cores to different workload specs, and
+:func:`generate_consolidated_traces` produces one :class:`TraceSet` in which
+each group's traces come from its own code base in its own address windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig, scaled_system
+from ..errors import ConfigurationError
+from .generator import WorkloadTraceGenerator
+from .suite import WorkloadSpec
+from .trace import CoreTrace, TraceSet
+
+
+@dataclass(frozen=True)
+class ConsolidationMix:
+    """An assignment of core counts to workload specs."""
+
+    entries: Tuple[Tuple[WorkloadSpec, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigurationError("a consolidation mix needs at least one workload")
+        names = set()
+        for spec, cores in self.entries:
+            if cores < 1:
+                raise ConfigurationError(f"workload {spec.name!r} needs at least one core")
+            if spec.name in names:
+                raise ConfigurationError(f"workload {spec.name!r} appears twice in the mix")
+            names.add(spec.name)
+
+    @classmethod
+    def even_split(cls, specs: Sequence[WorkloadSpec], num_cores: int) -> "ConsolidationMix":
+        """Split ``num_cores`` as evenly as possible across ``specs``."""
+        if not specs:
+            raise ConfigurationError("need at least one workload to consolidate")
+        if num_cores < len(specs):
+            raise ConfigurationError("need at least one core per consolidated workload")
+        base, extra = divmod(num_cores, len(specs))
+        entries = tuple(
+            (spec, base + (1 if i < extra else 0)) for i, spec in enumerate(specs)
+        )
+        return cls(entries=entries)
+
+    @property
+    def num_workloads(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(cores for _, cores in self.entries)
+
+    def core_ranges(self) -> List[Tuple[WorkloadSpec, range]]:
+        """Contiguous core-id ranges assigned to each workload."""
+        ranges: List[Tuple[WorkloadSpec, range]] = []
+        next_core = 0
+        for spec, cores in self.entries:
+            ranges.append((spec, range(next_core, next_core + cores)))
+            next_core += cores
+        return ranges
+
+
+def generate_consolidated_traces(
+    mix: ConsolidationMix,
+    system: Optional[SystemConfig] = None,
+    seed: int = 0,
+    blocks_per_core: Optional[int] = None,
+) -> TraceSet:
+    """Generate one trace set with disjoint footprints per consolidated stack."""
+    sys_config = system if system is not None else scaled_system()
+    if mix.total_cores > sys_config.num_cores:
+        raise ConfigurationError(
+            f"mix needs {mix.total_cores} cores but the system has {sys_config.num_cores}"
+        )
+    traces: List[CoreTrace] = []
+    layouts = []
+    workload_of_core = {}
+    for workload_index, (spec, cores) in enumerate(mix.core_ranges()):
+        generator = WorkloadTraceGenerator(
+            spec,
+            system=sys_config,
+            seed=seed + workload_index,
+            workload_index=workload_index,
+        )
+        layouts.append(generator.layout)
+        for core_id in cores:
+            trace = generator.core_trace(core_id, blocks_per_core)
+            traces.append(trace)
+            workload_of_core[core_id] = spec.name
+    name = "+".join(spec.name for spec, _ in mix.entries)
+    return TraceSet(
+        traces=traces,
+        layouts=tuple(layouts),
+        seed=seed,
+        name=name,
+        workload_of_core=workload_of_core,
+    )
+
+
+__all__ = ["ConsolidationMix", "generate_consolidated_traces"]

@@ -1,0 +1,175 @@
+"""Workload trace generation.
+
+:class:`WorkloadTraceGenerator` assembles the pieces of the package into
+per-core retire-order fetch traces:
+
+1. carve out the workload's address windows (:func:`layout_for_workload`),
+2. lay out a synthetic code base in the application window and a set of OS
+   handlers in the OS window,
+3. build the request mix (:class:`RequestTraceFactory`), and
+4. for every core, concatenate request executions with OS-noise injection
+   until the requested trace length is reached.
+
+Every core serves the same request mix over the same code base — the
+cross-core homogeneity that SHIFT exploits — but each core uses its own RNG
+stream, so the interleaving of request types, optional call sites and
+interrupts differs per core, exactly like independent server threads.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Optional
+
+from ..config import SystemConfig, scaled_system
+from ..errors import ConfigurationError
+from .address_space import WorkloadAddressLayout, BlockAllocator, layout_for_workload
+from .codebase import CodeBaseBuilder, SyntheticCodeBase
+from .osnoise import OSNoiseModel
+from .request import RequestTraceFactory
+from .suite import WorkloadSpec
+from .trace import CoreTrace, TraceSet
+
+#: Blocks reserved per workload for a virtualized SHIFT history buffer
+#: (generous: a 32K-record history at 12 records per LLC block needs 2731).
+DEFAULT_HISTORY_BLOCKS = 4096
+
+
+class WorkloadTraceGenerator:
+    """Generates a :class:`TraceSet` for one workload on one system."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        system: Optional[SystemConfig] = None,
+        seed: int = 0,
+        workload_index: int = 0,
+        history_blocks: int = DEFAULT_HISTORY_BLOCKS,
+    ) -> None:
+        self._spec = spec
+        self._system = system if system is not None else scaled_system()
+        self._seed = seed
+        self._layout = layout_for_workload(
+            workload_index,
+            application_code_blocks=spec.app_code_blocks,
+            os_code_blocks=spec.os_code_blocks,
+            data_blocks=spec.data_blocks,
+            history_blocks=history_blocks,
+        )
+        builder = CodeBaseBuilder(
+            allocator=BlockAllocator(self._layout.application_code),
+            target_blocks=spec.app_code_blocks,
+            mean_run_blocks=spec.mean_run_blocks,
+            max_runs_per_function=spec.max_runs_per_function,
+            call_fanout=spec.call_fanout,
+            optional_call_fraction=spec.optional_call_fraction,
+            optional_call_probability=spec.optional_call_probability,
+            seed=seed,
+        )
+        self._codebase = builder.build()
+        self._factory = RequestTraceFactory(
+            self._codebase,
+            num_request_types=spec.num_request_types,
+            entries_per_request=spec.entries_per_request,
+            max_call_depth=spec.max_call_depth,
+            mutation_probability=spec.mutation_probability,
+            seed=seed + 1,
+        )
+        self._noise = OSNoiseModel(
+            self._layout.os_code,
+            num_handlers=spec.os_handlers,
+            handler_blocks=spec.os_handler_blocks,
+            mean_interval_blocks=spec.os_noise_interval_blocks,
+            seed=seed + 2,
+        )
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        return self._spec
+
+    @property
+    def system(self) -> SystemConfig:
+        return self._system
+
+    @property
+    def layout(self) -> WorkloadAddressLayout:
+        return self._layout
+
+    @property
+    def codebase(self) -> SyntheticCodeBase:
+        return self._codebase
+
+    @property
+    def factory(self) -> RequestTraceFactory:
+        return self._factory
+
+    @property
+    def noise(self) -> OSNoiseModel:
+        return self._noise
+
+    def core_trace(self, core_id: int, blocks: Optional[int] = None) -> CoreTrace:
+        """Generate the fetch trace of one core."""
+        target = blocks if blocks is not None else self._spec.blocks_per_core
+        if target <= 0:
+            raise ConfigurationError("trace length must be positive")
+        # String seeds hash deterministically (unlike tuples / PYTHONHASHSEED).
+        rng = Random(f"{self._seed}:{self._spec.name}:{core_id}")
+        addresses: List[int] = []
+        requests = 0
+        next_noise = self._noise.next_interval(rng)
+        while len(addresses) < target:
+            request_type = self._factory.sample_request_type(rng)
+            start = len(addresses)
+            self._factory.emit_request(request_type, rng, addresses)
+            requests += 1
+            # Inject interrupt handlers at the points the noise process fired
+            # during this request.  Splicing after emission keeps emit_request
+            # simple while placing handlers at pseudo-random offsets.
+            emitted = len(addresses) - start
+            while next_noise < emitted:
+                handler: List[int] = []
+                self._noise.emit_handler(rng, handler)
+                position = start + next_noise
+                addresses[position:position] = handler
+                next_noise += self._noise.next_interval(rng) + len(handler)
+            next_noise -= emitted
+        del addresses[target:]
+        return CoreTrace(
+            core_id=core_id,
+            addresses=addresses,
+            instructions_per_block=self._spec.instructions_per_block,
+            workload=self._spec.name,
+            requests=requests,
+        )
+
+    def generate(
+        self,
+        num_cores: Optional[int] = None,
+        blocks_per_core: Optional[int] = None,
+    ) -> TraceSet:
+        """Generate traces for ``num_cores`` cores (default: the whole system)."""
+        cores = num_cores if num_cores is not None else self._system.num_cores
+        if cores < 1:
+            raise ConfigurationError("need at least one core")
+        traces = [self.core_trace(core_id, blocks_per_core) for core_id in range(cores)]
+        return TraceSet(
+            traces=traces,
+            layouts=(self._layout,),
+            seed=self._seed,
+            name=self._spec.name,
+        )
+
+
+def generate_traces(
+    spec: WorkloadSpec,
+    system: Optional[SystemConfig] = None,
+    seed: int = 0,
+    num_cores: Optional[int] = None,
+    blocks_per_core: Optional[int] = None,
+) -> TraceSet:
+    """One-shot convenience wrapper around :class:`WorkloadTraceGenerator`."""
+    generator = WorkloadTraceGenerator(spec, system=system, seed=seed)
+    return generator.generate(num_cores=num_cores, blocks_per_core=blocks_per_core)
+
+
+__all__ = ["WorkloadTraceGenerator", "generate_traces", "DEFAULT_HISTORY_BLOCKS"]

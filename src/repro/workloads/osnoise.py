@@ -1,0 +1,82 @@
+"""Operating-system noise injection.
+
+Server workloads spend a large fraction of their time in the OS (the paper's
+workloads execute up to ~60% of instructions in kernel mode), and traps,
+interrupts and scheduler invocations interrupt the application fetch stream at
+unpredictable points.  :class:`OSNoiseModel` builds a small set of
+straight-line handler routines inside the workload's OS-code window and
+injects one at geometrically distributed intervals into a core's fetch
+stream.
+
+Handlers recur (the same timer interrupt body runs every time), so a temporal
+prefetcher can learn them, but their *injection points* are random, which
+breaks the recorded application streams and is one of the effects that keeps
+prefetcher coverage below 100%.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from .address_space import AddressWindow, BlockAllocator
+
+
+class OSNoiseModel:
+    """Injects interrupt/trap handler fetch streams into a core trace."""
+
+    def __init__(
+        self,
+        window: AddressWindow,
+        num_handlers: int = 4,
+        handler_blocks: int = 12,
+        mean_interval_blocks: float = 400.0,
+        seed: int = 0,
+    ) -> None:
+        if num_handlers < 1:
+            raise ConfigurationError("need at least one OS handler")
+        if handler_blocks < 1:
+            raise ConfigurationError("handlers need at least one block")
+        if mean_interval_blocks < 1.0:
+            raise ConfigurationError("mean noise interval must be at least one block")
+
+        allocator = BlockAllocator(window)
+        handlers: List[Tuple[int, int]] = []
+        rng = Random(seed)
+        for _ in range(num_handlers):
+            length = max(1, min(handler_blocks + rng.randint(-2, 2), allocator.remaining_blocks))
+            base = allocator.allocate(length)
+            handlers.append((base, length))
+        self._window = window
+        self._handlers = handlers
+        self._mean_interval = mean_interval_blocks
+
+    @property
+    def window(self) -> AddressWindow:
+        return self._window
+
+    @property
+    def num_handlers(self) -> int:
+        return len(self._handlers)
+
+    def footprint_blocks(self) -> int:
+        return sum(length for _, length in self._handlers)
+
+    def next_interval(self, rng: Random) -> int:
+        """Blocks of application fetch until the next interrupt fires."""
+        # Geometric distribution with the configured mean.
+        p = 1.0 / self._mean_interval
+        interval = 1
+        while rng.random() > p:
+            interval += 1
+        return interval
+
+    def emit_handler(self, rng: Random, out: List[int]) -> int:
+        """Append one handler execution to ``out``; returns blocks emitted."""
+        base, length = self._handlers[rng.randrange(len(self._handlers))]
+        out.extend(range(base, base + length))
+        return length
+
+
+__all__ = ["OSNoiseModel"]

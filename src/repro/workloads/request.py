@@ -1,0 +1,124 @@
+"""Request-level control flow.
+
+Server workloads process a stream of requests (transactions, queries, HTTP
+requests), and every request of the same *type* executes largely the same
+code: that recurrence is what temporal-stream prefetchers like PIF and SHIFT
+exploit.  A :class:`RequestType` is a sequence of entry functions of the
+synthetic code base — the "phases" of serving the request (parse, look up,
+execute, render).  A :class:`RequestTraceFactory` owns a small set of request
+types plus a mix distribution and emits the block-granularity fetch stream of
+one request at a time.
+
+Per-request variation comes from two sources: optional call sites inside the
+code base (decided by the per-core RNG on every execution) and, for a small
+fraction of requests, a *mutated* phase order, modelling requests that take an
+unusual path through the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .codebase import SyntheticCodeBase, roots
+
+
+@dataclass(frozen=True)
+class RequestType:
+    """One kind of request: an ordered tuple of entry functions and a weight."""
+
+    name: str
+    entry_functions: Tuple[int, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.entry_functions:
+            raise ConfigurationError("a request type needs at least one entry function")
+        if self.weight <= 0.0:
+            raise ConfigurationError("request mix weight must be positive")
+
+
+class RequestTraceFactory:
+    """Builds request types over a code base and emits request fetch streams."""
+
+    def __init__(
+        self,
+        codebase: SyntheticCodeBase,
+        num_request_types: int = 4,
+        entries_per_request: int = 4,
+        max_call_depth: int = 6,
+        mutation_probability: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if num_request_types < 1:
+            raise ConfigurationError("need at least one request type")
+        if entries_per_request < 1:
+            raise ConfigurationError("requests need at least one entry function")
+        if max_call_depth < 0:
+            raise ConfigurationError("call depth cannot be negative")
+        if not (0.0 <= mutation_probability < 1.0):
+            raise ConfigurationError("mutation probability must be in [0, 1)")
+
+        self._codebase = codebase
+        self._max_call_depth = max_call_depth
+        self._mutation_probability = mutation_probability
+
+        rng = Random(seed)
+        entry_pool: Sequence[int] = roots(codebase)
+        if len(entry_pool) < entries_per_request:
+            # Small code bases may not have enough uncalled roots; fall back to
+            # sampling any function as an entry point.
+            entry_pool = [func.fid for func in codebase.functions]
+
+        request_types: List[RequestType] = []
+        for i in range(num_request_types):
+            entries = tuple(
+                rng.sample(list(entry_pool), k=min(entries_per_request, len(entry_pool)))
+            )
+            # Skewed mix: the first request type dominates, like the hot
+            # transaction of TPC-C dominates the mix.
+            weight = 1.0 / (1.0 + i)
+            request_types.append(RequestType(name=f"rq{i}", entry_functions=entries, weight=weight))
+        self._request_types: Tuple[RequestType, ...] = tuple(request_types)
+        total = sum(rt.weight for rt in self._request_types)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for rt in self._request_types:
+            acc += rt.weight / total
+            self._cumulative.append(acc)
+
+    @property
+    def codebase(self) -> SyntheticCodeBase:
+        return self._codebase
+
+    @property
+    def request_types(self) -> Tuple[RequestType, ...]:
+        return self._request_types
+
+    def sample_request_type(self, rng: Random) -> RequestType:
+        """Draw a request type according to the mix distribution."""
+        draw = rng.random()
+        for request_type, boundary in zip(self._request_types, self._cumulative, strict=True):
+            if draw <= boundary:
+                return request_type
+        return self._request_types[-1]
+
+    def emit_request(self, request_type: RequestType, rng: Random, out: List[int]) -> int:
+        """Append one execution of ``request_type`` to ``out``.
+
+        Returns the number of block addresses emitted.
+        """
+        before = len(out)
+        entries: Sequence[int] = request_type.entry_functions
+        if self._mutation_probability > 0.0 and rng.random() < self._mutation_probability:
+            shuffled = list(entries)
+            rng.shuffle(shuffled)
+            entries = shuffled
+        for fid in entries:
+            self._codebase.walk(fid, rng, out, max_depth=self._max_call_depth)
+        return len(out) - before
+
+
+__all__ = ["RequestType", "RequestTraceFactory"]

@@ -1,0 +1,214 @@
+"""The workload suite of the paper, as synthetic-workload specifications.
+
+The paper evaluates SHIFT on seven commercial server workloads: TPC-C on two
+database engines (DB2 and Oracle), two TPC-H decision-support queries on
+MonetDB, Darwin media streaming, Apache/SPECweb99 web serving and Nutch web
+search.  :data:`WORKLOAD_SUITE` encodes each as a :class:`WorkloadSpec`: the
+knobs that matter for instruction-fetch behaviour are the instruction
+footprint (application + OS), the basic-block run length, the depth and
+optionality of the call structure, and the amount of OS noise.
+
+Footprints are expressed at *paper scale* (64-byte blocks; e.g. 24576 blocks
+is a 1.5 MB application binary).  :func:`scaled_workload` shrinks a spec by
+the same factor used for :func:`repro.config.scaled_system`, preserving the
+footprint-to-L1-I ratio that determines prefetcher behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic server workload.
+
+    All ``*_blocks`` fields are 64-byte cache blocks at paper scale.
+    """
+
+    name: str
+    description: str
+    #: Application instruction footprint.
+    app_code_blocks: int
+    #: OS instruction footprint exercised by this workload.
+    os_code_blocks: int
+    #: Data footprint (used by :class:`repro.workloads.datastream.DataStreamGenerator`).
+    data_blocks: int
+    #: Mean basic-block run length in blocks (controls discontinuity rate).
+    mean_run_blocks: float = 3.0
+    #: Maximum basic-block runs per function.
+    max_runs_per_function: int = 3
+    #: Mean call sites per function.
+    call_fanout: float = 1.5
+    #: Fraction of call sites that are optional, and their taken-probability.
+    optional_call_fraction: float = 0.25
+    optional_call_probability: float = 0.5
+    #: Request-level structure.
+    num_request_types: int = 4
+    entries_per_request: int = 4
+    max_call_depth: int = 6
+    mutation_probability: float = 0.05
+    #: OS noise.
+    os_noise_interval_blocks: float = 400.0
+    os_handlers: int = 4
+    os_handler_blocks: int = 12
+    #: Trace length per core at paper scale (fetched blocks).
+    blocks_per_core: int = 120_000
+    #: Instructions retired per fetched block (timing model).
+    instructions_per_block: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload needs a name")
+        for label, value in (
+            ("application footprint", self.app_code_blocks),
+            ("OS footprint", self.os_code_blocks),
+            ("data footprint", self.data_blocks),
+            ("trace length", self.blocks_per_core),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{label} must be positive")
+
+    @property
+    def total_code_blocks(self) -> int:
+        return self.app_code_blocks + self.os_code_blocks
+
+    def scaled(self, scale: int) -> "WorkloadSpec":
+        """Shrink footprints and trace length by ``scale`` (floors applied)."""
+        if scale < 1:
+            raise ConfigurationError("scale factor must be >= 1")
+        if scale == 1:
+            return self
+        return replace(
+            self,
+            app_code_blocks=max(256, self.app_code_blocks // scale),
+            os_code_blocks=max(64, self.os_code_blocks // scale),
+            data_blocks=max(256, self.data_blocks // scale),
+            blocks_per_core=max(2_000, self.blocks_per_core // scale),
+        )
+
+
+def _spec(**kwargs) -> WorkloadSpec:
+    return WorkloadSpec(**kwargs)
+
+
+#: The seven workloads of the paper.  Footprints follow the qualitative
+#: characterisation in the paper and its antecedents (OLTP and web workloads
+#: have multi-megabyte instruction working sets; DSS queries are loop-heavy
+#: with smaller footprints and longer runs).
+WORKLOAD_SUITE: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            name="oltp_db2",
+            description="TPC-C on IBM DB2 v8 (100 warehouses, 64 clients)",
+            app_code_blocks=24_576,
+            os_code_blocks=8_192,
+            data_blocks=262_144,
+            mean_run_blocks=2.8,
+            call_fanout=1.8,
+            num_request_types=5,
+            os_noise_interval_blocks=350.0,
+        ),
+        _spec(
+            name="oltp_oracle",
+            description="TPC-C on Oracle 10g (100 warehouses, 16 clients)",
+            app_code_blocks=28_672,
+            os_code_blocks=8_192,
+            data_blocks=262_144,
+            mean_run_blocks=2.6,
+            call_fanout=2.0,
+            num_request_types=5,
+            os_noise_interval_blocks=350.0,
+        ),
+        _spec(
+            name="dss_qry2",
+            description="TPC-H Qry2 on IBM DB2 (480 MB buffer pool)",
+            app_code_blocks=10_240,
+            os_code_blocks=4_096,
+            data_blocks=524_288,
+            mean_run_blocks=4.0,
+            call_fanout=1.2,
+            num_request_types=2,
+            optional_call_fraction=0.15,
+            mutation_probability=0.02,
+            os_noise_interval_blocks=700.0,
+        ),
+        _spec(
+            name="dss_qry17",
+            description="TPC-H Qry17 on IBM DB2 (480 MB buffer pool)",
+            app_code_blocks=12_288,
+            os_code_blocks=4_096,
+            data_blocks=524_288,
+            mean_run_blocks=3.6,
+            call_fanout=1.3,
+            num_request_types=2,
+            optional_call_fraction=0.15,
+            mutation_probability=0.02,
+            os_noise_interval_blocks=700.0,
+        ),
+        _spec(
+            name="media_streaming",
+            description="Darwin Streaming Server (7500 clients, 60 GB library)",
+            app_code_blocks=16_384,
+            os_code_blocks=12_288,
+            data_blocks=1_048_576,
+            mean_run_blocks=3.2,
+            call_fanout=1.4,
+            num_request_types=3,
+            os_noise_interval_blocks=250.0,
+        ),
+        _spec(
+            name="web_frontend",
+            description="Apache HTTP Server v2.0 with SPECweb99 (16K connections)",
+            app_code_blocks=20_480,
+            os_code_blocks=12_288,
+            data_blocks=262_144,
+            mean_run_blocks=2.7,
+            call_fanout=1.7,
+            num_request_types=6,
+            os_noise_interval_blocks=300.0,
+        ),
+        _spec(
+            name="web_search",
+            description="Nutch 1.2 / Lucene search over a 2 GB index segment",
+            app_code_blocks=18_432,
+            os_code_blocks=6_144,
+            data_blocks=524_288,
+            mean_run_blocks=3.0,
+            call_fanout=1.6,
+            num_request_types=4,
+            os_noise_interval_blocks=450.0,
+        ),
+    )
+}
+
+#: Stable iteration order for reports and experiments.
+WORKLOAD_NAMES: Tuple[str, ...] = tuple(WORKLOAD_SUITE)
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up a workload spec, raising a helpful error for typos."""
+    try:
+        return WORKLOAD_SUITE[name]
+    except KeyError:
+        known = ", ".join(WORKLOAD_NAMES)
+        raise ConfigurationError(f"unknown workload {name!r}; known workloads: {known}") from None
+
+
+def scaled_workload(spec_or_name: "WorkloadSpec | str", scale: int = 16) -> WorkloadSpec:
+    """Shrink a workload spec by ``scale`` to match :func:`repro.config.scaled_system`."""
+    spec = workload_by_name(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    return spec.scaled(scale)
+
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOAD_SUITE",
+    "WORKLOAD_NAMES",
+    "workload_by_name",
+    "scaled_workload",
+]

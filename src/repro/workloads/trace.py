@@ -1,0 +1,105 @@
+"""Trace containers.
+
+A :class:`CoreTrace` is the retire-order instruction-fetch stream of one core
+at cache-block granularity: a flat list of block addresses.  A
+:class:`TraceSet` bundles the per-core traces of a whole CMP run together with
+the address layouts used to generate them, which the simulator needs to place
+virtualized SHIFT history buffers in non-conflicting regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..errors import TraceError
+from .address_space import WorkloadAddressLayout
+
+
+@dataclass
+class CoreTrace:
+    """Retire-order fetch stream of a single core (block addresses)."""
+
+    core_id: int
+    addresses: List[int]
+    instructions_per_block: int = 10
+    workload: str = ""
+    requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core_id < 0:
+            raise TraceError("core id cannot be negative")
+        if not self.addresses:
+            raise TraceError(f"core {self.core_id} trace is empty")
+        if self.instructions_per_block < 1:
+            raise TraceError("a fetched block must retire at least one instruction")
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def num_instructions(self) -> int:
+        return self.num_accesses * self.instructions_per_block
+
+    def footprint(self) -> Set[int]:
+        """The set of distinct blocks touched by this trace."""
+        return set(self.addresses)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.addresses)
+
+    def __len__(self) -> int:
+        return self.num_accesses
+
+
+@dataclass
+class TraceSet:
+    """Per-core traces for one simulated system."""
+
+    traces: List[CoreTrace]
+    layouts: Tuple[WorkloadAddressLayout, ...] = ()
+    seed: int = 0
+    name: str = ""
+    workload_of_core: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise TraceError("a trace set needs at least one core trace")
+        seen = set()
+        for trace in self.traces:
+            if trace.core_id in seen:
+                raise TraceError(f"duplicate trace for core {trace.core_id}")
+            seen.add(trace.core_id)
+        if not self.workload_of_core:
+            self.workload_of_core = {t.core_id: t.workload for t in self.traces}
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(t.num_accesses for t in self.traces)
+
+    def for_core(self, core_id: int) -> CoreTrace:
+        for trace in self.traces:
+            if trace.core_id == core_id:
+                return trace
+        raise TraceError(f"no trace for core {core_id}")
+
+    def footprint(self) -> Set[int]:
+        """Distinct blocks touched across all cores."""
+        blocks: Set[int] = set()
+        for trace in self.traces:
+            blocks.update(trace.addresses)
+        return blocks
+
+    def __iter__(self) -> Iterator[CoreTrace]:
+        return iter(self.traces)
+
+    def __len__(self) -> int:
+        return self.num_cores
+
+
+__all__ = ["CoreTrace", "TraceSet"]

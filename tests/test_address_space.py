@@ -1,0 +1,88 @@
+"""Address-space layout: window disjointness and allocator behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.address_space import (
+    AddressWindow,
+    BlockAllocator,
+    layout_for_workload,
+)
+
+
+class TestAddressWindow:
+    def test_contains_half_open(self):
+        window = AddressWindow(base=100, size=10)
+        assert window.contains(100)
+        assert window.contains(109)
+        assert not window.contains(110)
+        assert not window.contains(99)
+
+    def test_overlap_is_symmetric(self):
+        a = AddressWindow(base=0, size=10)
+        b = AddressWindow(base=5, size=10)
+        c = AddressWindow(base=10, size=10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressWindow(base=-1, size=10)
+        with pytest.raises(ConfigurationError):
+            AddressWindow(base=0, size=0)
+
+
+class TestLayoutDisjointness:
+    def test_windows_within_one_workload_are_disjoint(self):
+        layout = layout_for_workload(0, 4096, 1024, 65536, 4096)
+        windows = layout.all_windows()
+        for i, first in enumerate(windows):
+            for second in windows[i + 1 :]:
+                assert not first.overlaps(second)
+
+    def test_windows_across_workloads_are_disjoint(self):
+        layouts = [layout_for_workload(i, 8192, 2048, 65536, 4096) for i in range(4)]
+        windows = [w for layout in layouts for w in layout.all_windows()]
+        for i, first in enumerate(windows):
+            for second in windows[i + 1 :]:
+                assert not first.overlaps(second)
+
+    def test_oversized_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layout_for_workload(0, 0x0100_0000, 1024, 1024, 1024)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layout_for_workload(-1, 1024, 1024, 1024, 1024)
+
+
+class TestBlockAllocator:
+    def test_sequential_allocation(self):
+        allocator = BlockAllocator(AddressWindow(base=1000, size=100))
+        first = allocator.allocate(30)
+        second = allocator.allocate(20)
+        assert first == 1000
+        assert second == 1030
+        assert allocator.allocated_blocks == 50
+        assert allocator.remaining_blocks == 50
+
+    def test_exhaustion_raises(self):
+        allocator = BlockAllocator(AddressWindow(base=0, size=10))
+        allocator.allocate(10)
+        assert allocator.remaining_blocks == 0
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(1)
+
+    def test_overshoot_raises_without_partial_allocation(self):
+        allocator = BlockAllocator(AddressWindow(base=0, size=10))
+        allocator.allocate(6)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(5)
+        # The failed allocation must not consume blocks.
+        assert allocator.remaining_blocks == 4
+        assert allocator.allocate(4) == 6
+
+    def test_non_positive_allocation_rejected(self):
+        allocator = BlockAllocator(AddressWindow(base=0, size=10))
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(0)

@@ -1,0 +1,147 @@
+"""Invariants of the Table I configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    BLOCK_ADDRESS_BITS,
+    BLOCK_SIZE,
+    CacheConfig,
+    CoreConfig,
+    InterconnectConfig,
+    PIFConfig,
+    SHIFTConfig,
+    SystemConfig,
+    paper_pif_config,
+    paper_shift_config,
+    paper_system,
+    pif_equal_cost_entries,
+    scaled_pif_config,
+    scaled_shift_config,
+    scaled_system,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_paper_l1i_geometry(self):
+        l1i = paper_system().l1i
+        assert l1i.size_bytes == 32 * 1024
+        assert l1i.num_blocks == 512
+        assert l1i.num_sets == 256
+        assert l1i.num_sets * l1i.associativity * l1i.block_size == l1i.size_bytes
+
+    def test_non_integral_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, associativity=3)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0, associativity=2)
+
+    def test_llc_totals(self):
+        system = paper_system()
+        assert system.llc.total_size_bytes(16) == 8 * 1024 * 1024
+        assert system.llc_total_blocks == (8 * 1024 * 1024) // BLOCK_SIZE
+
+
+class TestInterconnect:
+    def test_mesh_tiles(self):
+        mesh = InterconnectConfig(rows=4, columns=4)
+        assert mesh.num_tiles == 16
+
+    def test_average_hop_count_square_mesh(self):
+        mesh = InterconnectConfig(rows=4, columns=4, cycles_per_hop=3)
+        assert mesh.average_hop_count() == pytest.approx(2.5)
+        assert mesh.average_latency_cycles() == pytest.approx(7.5)
+
+    def test_demand_latency_composition(self):
+        system = paper_system()
+        expected = 2 * system.interconnect.average_latency_cycles() + system.llc.hit_latency_cycles
+        assert system.llc_demand_latency_cycles() == pytest.approx(expected)
+        assert system.memory_demand_latency_cycles() > system.llc_demand_latency_cycles()
+
+
+class TestStorageAccounting:
+    def test_pif_record_bits(self):
+        pif = paper_pif_config()
+        # 34-bit block address + 7-bit vector = 41-bit records (Section 4.2).
+        assert pif.spatial_region.record_bits == BLOCK_ADDRESS_BITS + 7 == 41
+        assert pif.history_bits == pif.history_entries * 41
+
+    def test_pif_index_pointer_width(self):
+        pif = PIFConfig(history_entries=32 * 1024, index_entries=8 * 1024)
+        # 32K entries need a 15-bit pointer.
+        assert pif.index_entry_bits == BLOCK_ADDRESS_BITS + 15
+        assert pif.storage_bytes_per_core == (pif.history_bits + pif.index_bits + 7) // 8
+
+    def test_shift_history_llc_blocks(self):
+        shift = paper_shift_config()
+        # 32K records at 12 records per 64-byte block (Section 4.2).
+        assert shift.records_per_llc_block == 12
+        assert shift.history_llc_blocks == (32 * 1024 + 11) // 12
+        assert shift.history_llc_bytes == shift.history_llc_blocks * BLOCK_SIZE
+
+    def test_shift_pointer_bits_match_paper(self):
+        shift = paper_shift_config()
+        assert shift.required_pointer_bits() == 15
+        assert shift.index_pointer_bits >= shift.required_pointer_bits()
+
+
+class TestScaledConfigs:
+    def test_scaled_system_preserves_l1_llc_ratio(self):
+        paper = paper_system()
+        scaled = scaled_system(scale=16)
+        paper_ratio = paper.llc.size_bytes_per_core / paper.l1i.size_bytes
+        scaled_ratio = scaled.llc.size_bytes_per_core / scaled.l1i.size_bytes
+        assert scaled_ratio == pytest.approx(paper_ratio)
+        assert scaled.scale == 16
+
+    def test_scaled_prefetcher_histories_shrink_together(self):
+        pif = scaled_pif_config(scale=16)
+        shift = scaled_shift_config(scale=16)
+        assert pif.history_entries == 2048
+        assert shift.history_entries == 2048
+        assert pif.index_entries == pif.history_entries // 4
+
+    def test_equal_cost_pif_shrinks_with_scale(self):
+        shift = paper_shift_config()
+        history_paper, index_paper = pif_equal_cost_entries(shift, scale=1)
+        history_scaled, index_scaled = pif_equal_cost_entries(shift, scale=16)
+        # Paper point: 2K history / 512 index per core.
+        assert (history_paper, index_paper) == (2048, 512)
+        assert history_scaled == history_paper // 16
+        assert index_scaled == index_paper // 16
+        with pytest.raises(ConfigurationError):
+            pif_equal_cost_entries(shift, scale=0)
+
+    def test_equal_cost_ratio_matches_shift_history(self):
+        for scale in (1, 4, 16):
+            shift = paper_shift_config()
+            history, _ = pif_equal_cost_entries(shift, scale=scale)
+            scaled_shift = scaled_shift_config(scale=scale)
+            # The 16:1 shared-to-private ratio of the paper is preserved at
+            # every scale.
+            assert scaled_shift.history_entries // history == 16
+
+
+class TestValidation:
+    def test_core_config_rejects_bad_exposure(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(
+                name="bad",
+                kind="lean_ooo",
+                dispatch_width=2,
+                rob_entries=32,
+                lsq_entries=8,
+                area_mm2=1.0,
+                base_ipc=1.0,
+                stall_exposure=1.5,
+            )
+
+    def test_system_requires_enough_tiles(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_cores=32)
+
+    def test_shift_rejects_zero_records_per_block(self):
+        with pytest.raises(ConfigurationError):
+            SHIFTConfig(records_per_llc_block=0)

@@ -1,0 +1,89 @@
+"""End-to-end experiment driver: the paper's qualitative result must hold."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import format_report, run_experiment
+from repro.experiments.__main__ import build_parser, main
+
+#: Small-but-representative settings so the end-to-end check stays fast.
+FAST = dict(num_cores=4, blocks_per_core=4_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    return run_experiment(system="scaled", workloads=["oltp_db2", "web_search"], **FAST)
+
+
+class TestRunExperiment:
+    def test_paper_ordering_holds_on_sampled_workloads(self, fast_report):
+        violations = fast_report.check_paper_ordering(tolerance=0.10)
+        assert violations == []
+
+    def test_report_rows_and_outcomes(self, fast_report):
+        assert [row.workload for row in fast_report.rows] == ["oltp_db2", "web_search"]
+        for row in fast_report.rows:
+            assert row.baseline_mpki > 0
+            assert set(row.outcomes) == {"next_line", "pif", "shift"}
+            for outcome in row.outcomes.values():
+                assert 0.0 <= outcome.coverage <= 1.0
+                assert outcome.speedup >= 1.0
+                assert 0.0 <= outcome.prefetch_accuracy <= 1.0
+
+    def test_prefetching_reduces_mpki(self, fast_report):
+        for row in fast_report.rows:
+            assert row.outcomes["shift"].mpki < row.baseline_mpki
+            assert row.outcomes["pif"].mpki < row.baseline_mpki
+
+    def test_table_formatting(self, fast_report):
+        table = format_report(fast_report)
+        assert "oltp_db2" in table
+        assert "web_search" in table
+        assert "shift cov" in table
+
+    def test_table_shows_only_engines_that_ran(self):
+        report = run_experiment(
+            system="scaled",
+            workloads=["oltp_db2"],
+            engines=("none", "pif"),
+            **FAST,
+        )
+        table = format_report(report)
+        assert "pif cov" in table
+        assert "next_line" not in table
+        assert "shift" not in table
+
+    def test_baseline_engine_required(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(engines=("pif", "shift"), **FAST)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(system="huge", **FAST)
+
+
+class TestCommandLine:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.system == "scaled"
+        assert args.scale == 16
+        assert not args.check
+
+    def test_main_check_passes_on_sampled_workloads(self, capsys):
+        exit_code = main(
+            [
+                "--system",
+                "scaled",
+                "--workloads",
+                "oltp_db2,web_search",
+                "--cores",
+                "4",
+                "--blocks",
+                "4000",
+                "--check",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "oltp_db2" in captured.out
+        assert "paper ordering holds" in captured.out

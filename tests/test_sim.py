@@ -1,0 +1,223 @@
+"""The simulation subsystem: cache, prefetcher engines, timing model."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    NextLineConfig,
+    PIFConfig,
+    SHIFTConfig,
+    scaled_pif_config,
+    scaled_shift_config,
+    scaled_system,
+)
+from repro.errors import ConfigurationError, PrefetcherError, SimulationError
+from repro.sim import (
+    HistoryBuffer,
+    IndexTable,
+    NextLinePrefetcher,
+    PIFPrefetcher,
+    PrefetchBuffer,
+    SetAssociativeCache,
+    SHIFTPrefetcher,
+    SpatialCompactor,
+    make_prefetcher,
+    simulate,
+)
+from repro.sim.prefetchers import expand_record
+from repro.sim.timing import core_timing, system_timing, weighted_speedup
+from repro.workloads.generator import generate_traces
+from repro.workloads.suite import scaled_workload
+from repro.workloads.trace import CoreTrace, TraceSet
+
+SYSTEM = scaled_system()
+
+
+class TestSetAssociativeCache:
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=2 * 64, associativity=2))
+        # One set, two ways: every block maps to set 0.
+        cache.insert(0)
+        cache.insert(1)
+        assert cache.access(0)  # 0 becomes MRU
+        cache.insert(2)  # evicts 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_set_mapping(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=4 * 64, associativity=2))
+        assert cache.num_sets == 2
+        cache.insert(0)
+        cache.insert(1)
+        cache.insert(2)
+        cache.insert(3)
+        # Four blocks across two 2-way sets all fit.
+        assert cache.resident_blocks() == 4
+
+    def test_reinsert_does_not_duplicate(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=2 * 64, associativity=2))
+        cache.insert(5)
+        cache.insert(5)
+        assert cache.resident_blocks() == 1
+
+
+class TestPrefetchBuffer:
+    def test_fifo_eviction_counts_unused(self):
+        buffer = PrefetchBuffer(capacity=2)
+        buffer.insert(1, issued_at=0)
+        buffer.insert(2, issued_at=0)
+        buffer.insert(3, issued_at=0)
+        assert buffer.evicted_unused == 1
+        assert 1 not in buffer
+        assert buffer.consume(2) == 0
+        assert buffer.consume(2) is None
+
+    def test_reprefetch_keeps_original_timestamp(self):
+        buffer = PrefetchBuffer(capacity=4)
+        assert buffer.insert(7, issued_at=3)
+        assert not buffer.insert(7, issued_at=9)
+        assert buffer.consume(7) == 3
+
+
+class TestTemporalMachinery:
+    def test_compactor_splits_regions(self):
+        compactor = SpatialCompactor(region_blocks=4)
+        assert compactor.feed(100) is None
+        assert compactor.feed(101) is None
+        assert compactor.feed(103) is None
+        record = compactor.feed(200)  # leaves the region
+        assert record == (100, 0b101)
+        assert expand_record(record, 4) == [100, 101, 103]
+
+    def test_history_wraparound_invalidates_old_positions(self):
+        history = HistoryBuffer(capacity=4)
+        positions = [history.append((i, 0)) for i in range(6)]
+        assert history.get(positions[0]) is None  # overwritten
+        assert history.get(positions[5]) == (5, 0)
+        assert not history.valid(99)
+
+    def test_index_capacity_is_bounded(self):
+        index = IndexTable(capacity=2)
+        index.put(1, 10)
+        index.put(2, 20)
+        index.put(3, 30)
+        assert index.get(1) is None
+        assert index.get(3) == 30
+        assert len(index) == 2
+
+
+def recurring_trace(core_id, repeats=40, segment=None):
+    """A trace that repeats a discontinuous code path, like recurring requests.
+
+    The 12 five-block runs (60 blocks, twice the scaled L1-I capacity) use
+    scattered bases so misses are capacity misses, as in the paper's
+    workloads, rather than pathological set conflicts.
+    """
+    if segment is None:
+        segment = []
+        for i in range(12):
+            base = 1000 + 577 * i
+            segment.extend(range(base, base + 5))
+    return CoreTrace(core_id=core_id, addresses=segment * repeats)
+
+
+class TestPrefetcherEngines:
+    def test_null_prefetcher_changes_nothing(self):
+        trace_set = TraceSet(traces=[recurring_trace(0)])
+        result = simulate(trace_set, SYSTEM, "none")
+        assert result.cores[0].prefetches_issued == 0
+        assert result.cores[0].misses > 0
+
+    def test_next_line_covers_sequential_stream(self):
+        # A long sequential walk over a footprint much larger than the L1-I.
+        addresses = list(range(10_000, 14_000))
+        trace_set = TraceSet(traces=[CoreTrace(core_id=0, addresses=addresses)])
+        baseline = simulate(trace_set, SYSTEM, "none")
+        result = simulate(trace_set, SYSTEM, "next_line", next_line_config=NextLineConfig(degree=4))
+        assert result.coverage_vs(baseline) > 0.5
+
+    def test_pif_covers_recurring_discontinuous_stream(self):
+        trace_set = TraceSet(traces=[recurring_trace(0)])
+        baseline = simulate(trace_set, SYSTEM, "none")
+        pif = simulate(trace_set, SYSTEM, "pif", pif_config=scaled_pif_config())
+        next_line = simulate(trace_set, SYSTEM, "next_line")
+        assert pif.coverage_vs(baseline) > 0.6
+        assert pif.coverage_vs(baseline) > next_line.coverage_vs(baseline)
+
+    def test_shift_serves_cores_that_never_train(self):
+        # Core 0 trains the shared history; core 1 only consumes it.
+        trace_set = TraceSet(traces=[recurring_trace(0), recurring_trace(1)])
+        baseline = simulate(trace_set, SYSTEM, "none")
+        shift = simulate(trace_set, SYSTEM, "shift", shift_config=scaled_shift_config())
+        by_core = shift.by_core()
+        base_by_core = baseline.by_core()
+        consumer_coverage = 1 - (
+            by_core[1].effective_misses / base_by_core[1].effective_misses
+        )
+        assert consumer_coverage > 0.5
+
+    def test_shift_virtualized_history_reads_llc_blocks(self):
+        trace_set = TraceSet(traces=[recurring_trace(0)])
+        shift = SHIFTPrefetcher(1, scaled_shift_config())
+        simulate(trace_set, SYSTEM, shift)
+        assert shift.history_block_reads(0) > 0
+        zero_lat = SHIFTPrefetcher(1, scaled_shift_config(zero_latency_history=True))
+        simulate(trace_set, SYSTEM, zero_lat)
+        assert zero_lat.history_block_reads(0) == 0
+
+    def test_factory_names(self):
+        assert isinstance(
+            make_prefetcher("none", SYSTEM), type(make_prefetcher("baseline", SYSTEM))
+        )
+        assert isinstance(make_prefetcher("nl", SYSTEM), NextLinePrefetcher)
+        assert isinstance(make_prefetcher("pif", SYSTEM), PIFPrefetcher)
+        assert isinstance(make_prefetcher("shift", SYSTEM), SHIFTPrefetcher)
+        with pytest.raises(PrefetcherError):
+            make_prefetcher("ghb", SYSTEM)
+
+    def test_engine_rejects_oversubscribed_trace_set(self):
+        traces = [recurring_trace(i, repeats=1) for i in range(SYSTEM.num_cores + 1)]
+        with pytest.raises(SimulationError):
+            simulate(TraceSet(traces=traces), SYSTEM, "none")
+
+    def test_prefetcher_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            NextLineConfig(degree=0)
+        assert NextLinePrefetcher(NextLineConfig(degree=2)).config.degree == 2
+        with pytest.raises(PrefetcherError):
+            PIFPrefetcher(0, PIFConfig())
+        with pytest.raises(PrefetcherError):
+            SHIFTPrefetcher(2, SHIFTConfig(), trainer_core=5)
+
+
+class TestTiming:
+    def test_fewer_misses_means_higher_ipc(self):
+        trace_set = TraceSet(traces=[recurring_trace(0)])
+        baseline = simulate(trace_set, SYSTEM, "none")
+        pif = simulate(trace_set, SYSTEM, "pif", pif_config=scaled_pif_config())
+        base_ipc = core_timing(baseline.cores[0], SYSTEM).ipc
+        pif_ipc = core_timing(pif.cores[0], SYSTEM).ipc
+        assert pif_ipc > base_ipc
+        assert weighted_speedup(pif, baseline, SYSTEM) > 1.0
+
+    def test_ipc_bounded_by_base_ipc(self):
+        trace_set = TraceSet(traces=[recurring_trace(0)])
+        result = simulate(trace_set, SYSTEM, "none")
+        for timing in system_timing(result, SYSTEM):
+            assert timing.ipc <= SYSTEM.core.base_ipc + 1e-9
+
+    def test_history_reads_charge_slows_shift(self):
+        spec = scaled_workload("oltp_db2", 16)
+        trace_set = generate_traces(spec, SYSTEM, seed=0, num_cores=2, blocks_per_core=2_000)
+        baseline = simulate(trace_set, SYSTEM, "none")
+        virtualized = simulate(trace_set, SYSTEM, "shift", shift_config=scaled_shift_config())
+        zero_lat = simulate(
+            trace_set,
+            SYSTEM,
+            "shift",
+            shift_config=scaled_shift_config(zero_latency_history=True),
+        )
+        assert weighted_speedup(zero_lat, baseline, SYSTEM) >= weighted_speedup(
+            virtualized, baseline, SYSTEM
+        )

@@ -1,0 +1,231 @@
+"""The synthetic workload substrate: code bases, requests, noise, traces."""
+
+from random import Random
+
+import pytest
+
+import repro.workloads as workloads
+from repro.config import scaled_system
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads import (
+    CodeBaseBuilder,
+    ConsolidationMix,
+    CoreTrace,
+    DataStreamGenerator,
+    OSNoiseModel,
+    RequestTraceFactory,
+    TraceSet,
+    WORKLOAD_NAMES,
+    WORKLOAD_SUITE,
+    WorkloadTraceGenerator,
+    generate_consolidated_traces,
+    generate_traces,
+    scaled_workload,
+    workload_by_name,
+)
+from repro.workloads.address_space import AddressWindow, BlockAllocator
+
+SYSTEM = scaled_system()
+
+
+def small_spec(name="oltp_db2"):
+    return scaled_workload(workload_by_name(name), 16)
+
+
+class TestPackageSurface:
+    def test_star_export_surface(self):
+        # `from repro.workloads import *` must expose everything in __all__.
+        exported = {name: getattr(workloads, name) for name in workloads.__all__}
+        assert "WorkloadTraceGenerator" in exported
+        assert "WORKLOAD_SUITE" in exported
+
+    def test_suite_has_the_papers_seven_workloads(self):
+        assert len(WORKLOAD_SUITE) == 7
+        assert set(WORKLOAD_NAMES) == {
+            "oltp_db2",
+            "oltp_oracle",
+            "dss_qry2",
+            "dss_qry17",
+            "media_streaming",
+            "web_frontend",
+            "web_search",
+        }
+
+    def test_unknown_workload_is_a_helpful_error(self):
+        with pytest.raises(ConfigurationError, match="known workloads"):
+            workload_by_name("oltp_db3")
+
+    def test_scaled_workload_shrinks_footprints(self):
+        paper = workload_by_name("oltp_db2")
+        scaled = scaled_workload(paper, 16)
+        assert scaled.app_code_blocks == paper.app_code_blocks // 16
+        assert scaled.blocks_per_core == paper.blocks_per_core // 16
+        assert scaled_workload(paper, 1) is paper
+
+
+class TestCodeBase:
+    def test_codebase_fills_window_without_overlap(self):
+        window = AddressWindow(base=10_000, size=2_000)
+        builder = CodeBaseBuilder(allocator=BlockAllocator(window), target_blocks=1_500, seed=3)
+        codebase = builder.build()
+        assert codebase.footprint_blocks >= 1_500
+        seen = set()
+        for function in codebase.functions:
+            for run in function.runs:
+                for block in run.blocks():
+                    assert window.contains(block)
+                    assert block not in seen
+                    seen.add(block)
+
+    def test_call_graph_is_acyclic(self):
+        window = AddressWindow(base=0, size=4_000)
+        builder = CodeBaseBuilder(allocator=BlockAllocator(window), target_blocks=3_000, seed=5)
+        codebase = builder.build()
+        for function in codebase.functions:
+            for site in function.call_sites:
+                assert site.callee > function.fid
+
+    def test_oversized_target_rejected(self):
+        window = AddressWindow(base=0, size=100)
+        with pytest.raises(ConfigurationError):
+            CodeBaseBuilder(allocator=BlockAllocator(window), target_blocks=200)
+
+    def test_walk_is_deterministic_per_seed(self):
+        window = AddressWindow(base=0, size=2_000)
+        codebase = CodeBaseBuilder(
+            allocator=BlockAllocator(window), target_blocks=1_500, seed=7
+        ).build()
+        first, second = [], []
+        codebase.walk(0, Random(11), first, max_depth=4)
+        codebase.walk(0, Random(11), second, max_depth=4)
+        assert first == second
+
+
+class TestRequestsAndNoise:
+    def test_request_mix_is_normalised_and_recurrent(self):
+        window = AddressWindow(base=0, size=2_000)
+        codebase = CodeBaseBuilder(
+            allocator=BlockAllocator(window), target_blocks=1_500, seed=1
+        ).build()
+        factory = RequestTraceFactory(codebase, num_request_types=3, seed=2)
+        assert len(factory.request_types) == 3
+        rng = Random(0)
+        draws = [factory.sample_request_type(rng).name for _ in range(500)]
+        # The skewed mix must make the first request type the most common.
+        assert draws.count("rq0") > draws.count("rq2")
+
+    def test_noise_emits_blocks_inside_os_window(self):
+        window = AddressWindow(base=50_000, size=512)
+        noise = OSNoiseModel(window, num_handlers=3, handler_blocks=8, seed=4)
+        rng = Random(9)
+        out = []
+        noise.emit_handler(rng, out)
+        assert out and all(window.contains(a) for a in out)
+        assert noise.next_interval(rng) >= 1
+
+
+class TestTraceContainers:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            CoreTrace(core_id=0, addresses=[])
+
+    def test_duplicate_core_rejected(self):
+        trace = CoreTrace(core_id=0, addresses=[1, 2, 3])
+        with pytest.raises(TraceError):
+            TraceSet(traces=[trace, CoreTrace(core_id=0, addresses=[4])])
+
+    def test_trace_set_lookup_and_footprint(self):
+        traces = [CoreTrace(core_id=i, addresses=[i * 10, i * 10 + 1]) for i in range(3)]
+        trace_set = TraceSet(traces=traces)
+        assert trace_set.num_cores == 3
+        assert trace_set.for_core(1).addresses == [10, 11]
+        assert trace_set.footprint() == {0, 1, 10, 11, 20, 21}
+        with pytest.raises(TraceError):
+            trace_set.for_core(99)
+
+
+class TestGenerator:
+    def test_generation_is_deterministic(self):
+        spec = small_spec()
+        first = generate_traces(spec, SYSTEM, seed=3, num_cores=2, blocks_per_core=2_000)
+        second = generate_traces(spec, SYSTEM, seed=3, num_cores=2, blocks_per_core=2_000)
+        assert first.for_core(0).addresses == second.for_core(0).addresses
+        assert first.for_core(1).addresses == second.for_core(1).addresses
+
+    def test_cores_are_homogeneous_but_not_identical(self):
+        spec = small_spec()
+        trace_set = generate_traces(spec, SYSTEM, seed=3, num_cores=2, blocks_per_core=3_000)
+        a = trace_set.for_core(0)
+        b = trace_set.for_core(1)
+        assert a.addresses != b.addresses
+        shared = a.footprint() & b.footprint()
+        # Every core serves the same request mix, so the instruction
+        # footprints overlap heavily.
+        assert len(shared) / len(a.footprint()) > 0.5
+
+    def test_trace_respects_length_and_windows(self):
+        spec = small_spec()
+        generator = WorkloadTraceGenerator(spec, SYSTEM, seed=1)
+        trace = generator.core_trace(0, 2_500)
+        assert trace.num_accesses == 2_500
+        layout = generator.layout
+        for address in trace.addresses:
+            assert layout.application_code.contains(address) or layout.os_code.contains(address)
+
+    def test_os_noise_present_in_traces(self):
+        spec = small_spec()
+        generator = WorkloadTraceGenerator(spec, SYSTEM, seed=1)
+        trace = generator.core_trace(0, 4_000)
+        os_blocks = [a for a in trace.addresses if generator.layout.os_code.contains(a)]
+        assert os_blocks, "expected interrupt handlers in the fetch stream"
+
+
+class TestConsolidation:
+    def test_even_split(self):
+        specs = [small_spec("oltp_db2"), small_spec("web_search")]
+        mix = ConsolidationMix.even_split(specs, 5)
+        assert mix.total_cores == 5
+        assert [cores for _, cores in mix.entries] == [3, 2]
+
+    def test_consolidated_footprints_are_disjoint(self):
+        specs = [small_spec("oltp_db2"), small_spec("web_search")]
+        mix = ConsolidationMix.even_split(specs, 4)
+        trace_set = generate_consolidated_traces(mix, SYSTEM, seed=2, blocks_per_core=1_500)
+        first = trace_set.for_core(0).footprint() | trace_set.for_core(1).footprint()
+        second = trace_set.for_core(2).footprint() | trace_set.for_core(3).footprint()
+        assert not (first & second)
+        assert trace_set.workload_of_core[0] == "oltp_db2"
+        assert trace_set.workload_of_core[3] == "web_search"
+
+    def test_mix_cannot_exceed_system_cores(self):
+        specs = [small_spec("oltp_db2")]
+        mix = ConsolidationMix(entries=((specs[0], SYSTEM.num_cores + 1),))
+        with pytest.raises(ConfigurationError):
+            generate_consolidated_traces(mix, SYSTEM, blocks_per_core=100)
+
+
+class TestDataStream:
+    def test_stream_stays_in_window_and_is_deterministic(self):
+        window = AddressWindow(base=1_000_000, size=10_000)
+        generator = DataStreamGenerator(window, seed=5)
+        first = generator.generate(0, 3_000)
+        second = generator.generate(0, 3_000)
+        assert first == second
+        assert len(first) == 3_000
+        assert all(window.contains(a) for a in first)
+
+    def test_hot_set_dominates(self):
+        window = AddressWindow(base=0, size=10_000)
+        generator = DataStreamGenerator(window, hot_fraction=0.05, hot_access_probability=0.7)
+        stream = generator.generate(1, 5_000)
+        hot = sum(1 for a in stream if a < generator.hot_blocks)
+        assert hot / len(stream) > 0.5
+
+    def test_degenerate_all_hot_window_terminates(self):
+        # hot_fraction=1 leaves no cold region; the generator must still
+        # make progress instead of spinning forever.
+        window = AddressWindow(base=0, size=64)
+        generator = DataStreamGenerator(window, hot_fraction=1.0, hot_access_probability=0.0)
+        stream = generator.generate(0, 100)
+        assert len(stream) == 100
+        assert all(window.contains(a) for a in stream)
