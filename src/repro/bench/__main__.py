@@ -1,0 +1,77 @@
+"""Command-line driver: ``python -m repro.bench [--quick]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import BENCHMARK_NAMES, bench_experiment, bench_hotloop, write_bench_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the optimized simulation against the frozen "
+        "PR-1 engine and record BENCH_*.json trajectory files.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized smoke run: 2 workloads, short traces, single repeat",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=",".join(BENCHMARK_NAMES),
+        help=f"comma-separated subset of: {', '.join(BENCHMARK_NAMES)}",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of); default 1/3"
+    )
+    parser.add_argument("--out", default=".", metavar="DIR", help="output directory")
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="also time the experiment with a warm on-disk trace cache",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    selected = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    unknown = [name for name in selected if name not in BENCHMARK_NAMES]
+    if unknown:
+        print(f"error: unknown benchmarks {unknown}; known: {BENCHMARK_NAMES}", file=sys.stderr)
+        return 2
+    status = 0
+    for name in selected:
+        if name == "experiment":
+            result = bench_experiment(
+                quick=args.quick,
+                seed=args.seed,
+                repeats=args.repeats or 1,
+                trace_cache=args.trace_cache,
+            )
+            headline = (
+                f"experiment: {result['baseline']['seconds']}s legacy -> "
+                f"{result['optimized']['seconds']}s optimized "
+                f"({result['speedup']}x), results_match={result['results_match']}"
+            )
+            if not result["results_match"] or not result["paper_ordering_holds"]:
+                status = 1
+        else:
+            result = bench_hotloop(quick=args.quick, seed=args.seed, repeats=args.repeats or 3)
+            per_engine = ", ".join(
+                f"{engine}={data['speedup']}x" for engine, data in result["engines"].items()
+            )
+            headline = f"hotloop: total {result['total_speedup']}x ({per_engine})"
+        path = write_bench_json(result, args.out)
+        print(headline)
+        print(f"  -> {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

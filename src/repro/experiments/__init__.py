@@ -7,31 +7,30 @@ L1-I miss coverage and speedup over the baseline.  The expected qualitative
 result (Figures 6–7 of the paper) is SHIFT ≈ PIF ≫ next-line ≫ none on the
 large-footprint server workloads.
 
+Execution is cell-based (see :mod:`repro.experiments.cells`): every
+(workload, engine) pair is an independent unit of work, run either serially
+or fanned out over a process pool (``workers=N`` or ``REPRO_WORKERS=N``),
+with an optional on-disk trace cache.  Reports are bit-identical across all
+execution modes and JSON-round-trippable via
+:meth:`ExperimentReport.to_dict` / :meth:`ExperimentReport.from_dict`.
+
 Run it from the command line::
 
-    python -m repro.experiments --system scaled
+    python -m repro.experiments --system scaled --workers 4
 
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import (
-    SystemConfig,
-    paper_pif_config,
-    paper_shift_config,
-    paper_system,
-    scaled_pif_config,
-    scaled_shift_config,
-    scaled_system,
-)
 from ..errors import ConfigurationError
-from ..sim import SimulationResult, simulate
+from ..sim import SimulationResult
 from ..sim.timing import weighted_speedup
-from ..workloads.generator import generate_traces
-from ..workloads.suite import WORKLOAD_NAMES, scaled_workload, workload_by_name
+from ..workloads.suite import WORKLOAD_NAMES
+from .cells import CellSpec, execute_cells, system_for
 
 #: Engines compared by the default experiment, in report order.
 DEFAULT_ENGINES: Tuple[str, ...] = ("none", "next_line", "pif", "shift")
@@ -47,15 +46,55 @@ class EngineOutcome:
     mpki: float
     prefetch_accuracy: float
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "coverage": self.coverage,
+            "speedup": self.speedup,
+            "mpki": self.mpki,
+            "prefetch_accuracy": self.prefetch_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineOutcome":
+        return cls(
+            engine=str(data["engine"]),
+            coverage=float(data["coverage"]),
+            speedup=float(data["speedup"]),
+            mpki=float(data["mpki"]),
+            prefetch_accuracy=float(data["prefetch_accuracy"]),
+        )
+
 
 @dataclass
 class ExperimentRow:
-    """All engine outcomes for one workload."""
+    """All engine outcomes for one workload (or consolidation mix)."""
 
     workload: str
     baseline_mpki: float
     baseline_miss_ratio: float
     outcomes: Dict[str, EngineOutcome] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "baseline_mpki": self.baseline_mpki,
+            "baseline_miss_ratio": self.baseline_miss_ratio,
+            "outcomes": {name: outcome.to_dict() for name, outcome in self.outcomes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentRow":
+        outcomes = {
+            str(name): EngineOutcome.from_dict(outcome)
+            for name, outcome in dict(data["outcomes"]).items()
+        }
+        return cls(
+            workload=str(data["workload"]),
+            baseline_mpki=float(data["baseline_mpki"]),
+            baseline_miss_ratio=float(data["baseline_miss_ratio"]),
+            outcomes=outcomes,
+        )
 
 
 @dataclass
@@ -64,6 +103,9 @@ class ExperimentReport:
 
     system_name: str
     rows: List[ExperimentRow] = field(default_factory=list)
+    #: Input parameters of the run (seed, scale, engine list, ...), carried
+    #: so serialized reports are self-describing.
+    params: Dict[str, object] = field(default_factory=dict)
 
     def check_paper_ordering(self, tolerance: float = 0.10) -> List[str]:
         """Verify the paper's qualitative result on every row.
@@ -98,13 +140,84 @@ class ExperimentReport:
                 )
         return violations
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "system_name": self.system_name,
+            "params": dict(self.params),
+            "rows": [row.to_dict() for row in self.rows],
+        }
 
-def _system_for(name: str, scale: int) -> SystemConfig:
-    if name == "paper":
-        return paper_system()
-    if name == "scaled":
-        return scaled_system(scale=scale)
-    raise ConfigurationError(f"unknown system {name!r}; known: paper, scaled")
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentReport":
+        return cls(
+            system_name=str(data["system_name"]),
+            rows=[ExperimentRow.from_dict(row) for row in list(data["rows"])],
+            params=dict(data.get("params", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON: sorted keys, fixed layout — byte-stable across
+        serial and parallel execution for identical inputs."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ExperimentReport":
+        return cls.from_json(Path(path).read_text())
+
+
+def _outcome_for(
+    engine: str,
+    result: SimulationResult,
+    baseline: SimulationResult,
+    sys_config,
+) -> EngineOutcome:
+    issued = sum(c.prefetches_issued for c in result.cores)
+    useful = sum(c.prefetch_hits + c.late_hits for c in result.cores)
+    return EngineOutcome(
+        engine=engine,
+        coverage=result.coverage_vs(baseline),
+        speedup=weighted_speedup(result, baseline, sys_config),
+        mpki=result.mpki,
+        prefetch_accuracy=useful / issued if issued else 0.0,
+    )
+
+
+def _merge_report(
+    system: str,
+    sys_config,
+    row_labels: Sequence[str],
+    engines: Sequence[str],
+    cells: Dict[Tuple[str, str], CellSpec],
+    results: Dict[CellSpec, SimulationResult],
+    params: Dict[str, object],
+) -> ExperimentReport:
+    """Deterministic merge: rows in label order, outcomes in engine order."""
+    report = ExperimentReport(system_name=system, params=params)
+    for label in row_labels:
+        baseline = results[cells[(label, "none")]]
+        row = ExperimentRow(
+            workload=label,
+            baseline_mpki=baseline.mpki,
+            baseline_miss_ratio=baseline.miss_ratio,
+        )
+        for engine in engines:
+            if engine == "none":
+                continue
+            result = results[cells[(label, engine)]]
+            row.outcomes[engine] = _outcome_for(engine, result, baseline, sys_config)
+        report.rows.append(row)
+    return report
 
 
 def run_experiment(
@@ -115,70 +228,124 @@ def run_experiment(
     num_cores: Optional[int] = None,
     blocks_per_core: Optional[int] = None,
     seed: int = 0,
+    history_entries: Optional[int] = None,
+    workers: Optional[int] = None,
+    trace_cache: "str | Path | None" = None,
 ) -> ExperimentReport:
     """Run the prefetcher comparison and return a report.
 
     ``system`` selects the paper-scale or shrunken configuration; workload
     footprints and prefetcher histories are shrunk by the same ``scale`` so
-    the capacity ratios of the paper are preserved.
+    the capacity ratios of the paper are preserved.  ``history_entries``
+    overrides the paper-scale history budget of PIF and SHIFT (the storage
+    sensitivity axis).  ``workers > 1`` fans the (workload, engine) cells
+    out over a process pool; ``trace_cache`` names a directory where
+    generated traces are shared between engines, processes and runs.  The
+    report is bit-identical for every (workers, trace_cache) combination.
     """
-    sys_config = _system_for(system, scale)
-    effective_scale = sys_config.scale
+    sys_config = system_for(system, scale)
     names = list(workloads) if workloads else list(WORKLOAD_NAMES)
     if "none" not in engines:
         raise ConfigurationError("the engine list must include the 'none' baseline")
 
-    if effective_scale > 1:
-        pif_config = scaled_pif_config(effective_scale)
-        shift_config = scaled_shift_config(effective_scale)
-    else:
-        pif_config = paper_pif_config()
-        shift_config = paper_shift_config()
-
-    report = ExperimentReport(system_name=system)
+    cells: Dict[Tuple[str, str], CellSpec] = {}
+    order: List[CellSpec] = []
     for name in names:
-        spec = scaled_workload(workload_by_name(name), effective_scale)
-        trace_set = generate_traces(
-            spec,
-            sys_config,
-            seed=seed,
-            num_cores=num_cores,
-            blocks_per_core=blocks_per_core,
-        )
-        results: Dict[str, SimulationResult] = {}
         for engine in engines:
-            results[engine] = simulate(
-                trace_set,
-                sys_config,
-                engine,
-                **(
-                    {"pif_config": pif_config}
-                    if engine == "pif"
-                    else {"shift_config": shift_config}
-                    if engine == "shift"
-                    else {}
-                ),
-            )
-        baseline = results["none"]
-        row = ExperimentRow(
-            workload=name,
-            baseline_mpki=baseline.mpki,
-            baseline_miss_ratio=baseline.miss_ratio,
-        )
-        for engine, result in results.items():
-            if engine == "none":
-                continue
-            issued = sum(c.prefetches_issued for c in result.cores)
-            useful = sum(c.prefetch_hits + c.late_hits for c in result.cores)
-            row.outcomes[engine] = EngineOutcome(
+            cell = CellSpec(
+                workload=name,
                 engine=engine,
-                coverage=result.coverage_vs(baseline),
-                speedup=weighted_speedup(result, baseline, sys_config),
-                mpki=result.mpki,
-                prefetch_accuracy=useful / issued if issued else 0.0,
+                system=system,
+                scale=scale,
+                seed=seed,
+                num_cores=num_cores,
+                blocks_per_core=blocks_per_core,
+                history_entries=history_entries,
             )
-        report.rows.append(row)
-    return report
+            cells[(name, engine)] = cell
+            order.append(cell)
+    results = execute_cells(
+        order,
+        workers=workers,
+        trace_cache_dir=str(trace_cache) if trace_cache is not None else None,
+        chunksize=len(engines),
+    )
+    params: Dict[str, object] = {
+        "system": system,
+        "scale": scale,
+        "seed": seed,
+        "workloads": names,
+        "engines": list(engines),
+        "num_cores": num_cores,
+        "blocks_per_core": blocks_per_core,
+        "history_entries": history_entries,
+    }
+    return _merge_report(system, sys_config, names, engines, cells, results, params)
+
+
+def run_consolidated_experiment(
+    mixes: Sequence[Sequence[str]],
+    system: str = "scaled",
+    scale: int = 16,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    num_cores: Optional[int] = None,
+    blocks_per_core: Optional[int] = None,
+    seed: int = 0,
+    history_entries: Optional[int] = None,
+    workers: Optional[int] = None,
+    trace_cache: "str | Path | None" = None,
+) -> ExperimentReport:
+    """Run the comparison on consolidated-server mixes (Section 5.5).
+
+    Each mix is a sequence of workload names sharing the CMP with disjoint
+    footprints; cores are split evenly between them.  SHIFT runs as one
+    logical history per workload with the aggregate budget split (see
+    :class:`repro.sim.prefetchers.ConsolidatedSHIFTPrefetcher`); PIF and
+    next-line are per-core and unaffected by consolidation.
+    """
+    sys_config = system_for(system, scale)
+    if "none" not in engines:
+        raise ConfigurationError("the engine list must include the 'none' baseline")
+    labels: List[str] = []
+    cells: Dict[Tuple[str, str], CellSpec] = {}
+    order: List[CellSpec] = []
+    for mix in mixes:
+        mix_names = tuple(mix)
+        if not mix_names:
+            raise ConfigurationError("a consolidation mix cannot be empty")
+        label = "+".join(mix_names)
+        labels.append(label)
+        for engine in engines:
+            cell = CellSpec(
+                workload=label,
+                engine=engine,
+                system=system,
+                scale=scale,
+                seed=seed,
+                num_cores=num_cores,
+                blocks_per_core=blocks_per_core,
+                history_entries=history_entries,
+                consolidation=mix_names,
+            )
+            cells[(label, engine)] = cell
+            order.append(cell)
+    results = execute_cells(
+        order,
+        workers=workers,
+        trace_cache_dir=str(trace_cache) if trace_cache is not None else None,
+        chunksize=len(engines),
+    )
+    params: Dict[str, object] = {
+        "system": system,
+        "scale": scale,
+        "seed": seed,
+        "mixes": [list(mix) for mix in mixes],
+        "engines": list(engines),
+        "num_cores": num_cores,
+        "blocks_per_core": blocks_per_core,
+        "history_entries": history_entries,
+    }
+    return _merge_report(system, sys_config, labels, engines, cells, results, params)
 
 
 def format_report(report: ExperimentReport) -> str:
@@ -192,18 +359,21 @@ def format_report(report: ExperimentReport) -> str:
                 present.append(engine)
     engines = [e for e in DEFAULT_ENGINES if e in present]
     engines += [e for e in present if e not in engines]
-    header = f"{'workload':<16} {'base MPKI':>9}"
+    name_width = max([16] + [len(row.workload) for row in report.rows])
+    header = f"{'workload':<{name_width}} {'base MPKI':>9}"
     for engine in engines:
         header += f" {engine + ' cov':>13} {engine + ' spd':>13}"
     lines = [f"system: {report.system_name}", header, "-" * len(header)]
     for row in report.rows:
-        line = f"{row.workload:<16} {row.baseline_mpki:>9.1f}"
+        line = f"{row.workload:<{name_width}} {row.baseline_mpki:>9.1f}"
         for engine in engines:
             outcome = row.outcomes.get(engine)
             if outcome is None:
                 line += f" {'-':>13} {'-':>13}"
             else:
-                line += f" {outcome.coverage:>12.1%} {outcome.speedup:>12.2f}x"
+                # Both cells pad to the 13-character header width (the
+                # speedup's trailing 'x' is part of its 13 characters).
+                line += f" {outcome.coverage:>13.1%} {outcome.speedup:>12.2f}x"
         lines.append(line)
     return "\n".join(lines)
 
@@ -214,5 +384,6 @@ __all__ = [
     "ExperimentRow",
     "ExperimentReport",
     "run_experiment",
+    "run_consolidated_experiment",
     "format_report",
 ]

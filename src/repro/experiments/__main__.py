@@ -8,6 +8,7 @@ import time
 
 from ..errors import ReproError
 from ..workloads.suite import WORKLOAD_NAMES
+from ..workloads.trace_cache import DEFAULT_CACHE_DIR
 from . import format_report, run_experiment
 
 
@@ -42,6 +43,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed (default: 0)")
     parser.add_argument(
+        "--history-entries",
+        type=int,
+        default=None,
+        help="paper-scale PIF/SHIFT history budget override (default: 32768)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan (workload, engine) cells over N processes "
+        "(default: $REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help=f"directory to cache generated traces in (e.g. {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report as canonical JSON to PATH",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero unless SHIFT is within 10%% of PIF and both beat next-line",
@@ -61,12 +87,18 @@ def main(argv=None) -> int:
             num_cores=args.cores,
             blocks_per_core=args.blocks,
             seed=args.seed,
+            history_entries=args.history_entries,
+            workers=args.workers,
+            trace_cache=args.trace_cache,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_report(report))
     print(f"({time.time() - started:.1f}s)")
+    if args.json:
+        report.save(args.json)
+        print(f"report written to {args.json}")
     violations = report.check_paper_ordering()
     if violations:
         print("paper-ordering violations:", file=sys.stderr)

@@ -16,6 +16,7 @@ The subsystem has three layers:
 from .cache import PrefetchBuffer, SetAssociativeCache
 from .engine import CoreResult, SimulationEngine, SimulationResult, simulate
 from .prefetchers import (
+    ConsolidatedSHIFTPrefetcher,
     HistoryBuffer,
     IndexTable,
     NextLinePrefetcher,
@@ -36,6 +37,7 @@ __all__ = [
     "NextLinePrefetcher",
     "PIFPrefetcher",
     "SHIFTPrefetcher",
+    "ConsolidatedSHIFTPrefetcher",
     "SpatialCompactor",
     "HistoryBuffer",
     "IndexTable",

@@ -1,0 +1,703 @@
+"""Specialized simulation loops for the built-in prefetcher engines.
+
+The generic loop in :mod:`repro.sim.engine` pays for a method call per cache
+access, per buffer probe and per prefetcher decision — in CPython that is
+most of the simulation's wall clock.  This module provides loops specialized
+per engine family that inline those operations on the underscore attributes
+of :class:`~repro.sim.cache.SetAssociativeCache`,
+:class:`~repro.sim.cache.PrefetchBuffer` and the stream machinery of
+:mod:`repro.sim.prefetchers`, with every loop-invariant lookup hoisted into
+locals:
+
+* :func:`run_baseline` — no prefetcher: a pure cache hit/miss loop;
+* :func:`run_next_line` — the tagged next-N-line engine, fully inlined;
+* :func:`run_stream_per_core` — PIF; per-core state means cores can be
+  simulated sequentially with *identical* results to the round-robin order
+  (core ``c``'s ``k``-th access always happens at global step ``k``);
+* :func:`run_stream_shared` — SHIFT and consolidated SHIFT; cores share the
+  history, so the round-robin interleaving is semantically load-bearing.
+  Each lane runs as a generator, keeping its hot state in locals across
+  steps, and the driver resumes them round-robin.
+
+Every loop is behaviour-pinned to the public-API implementations: the
+regression tests assert exact equality of all per-core counters against both
+the generic loop and the frozen PR-1 reference in :mod:`repro.sim._legacy`.
+Any semantic change here that is not mirrored there is a bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+from .cache import PrefetchBuffer, SetAssociativeCache
+from .prefetchers import (
+    ConsolidatedSHIFTPrefetcher,
+    PIFPrefetcher,
+    SHIFTPrefetcher,
+    _expand_offsets,
+    _Stream,
+)
+
+if TYPE_CHECKING:  # engine imports this module; avoid the runtime cycle.
+    from .engine import CoreResult
+
+#: One simulation lane: (core id, trace addresses, cache, buffer, stats).
+Lane = Tuple[int, List[int], SetAssociativeCache, PrefetchBuffer, "CoreResult"]
+
+
+def run_baseline(lanes: List[Lane]) -> None:
+    """No-prefetch loop: every access is a demand hit or a demand miss."""
+    for _core_id, addresses, cache, _buffer, stats in lanes:
+        sets = cache._sets
+        num_sets = cache._num_sets
+        assoc = cache._associativity
+        demand_hits = 0
+        misses = 0
+        for address in addresses:
+            lines = sets[address % num_sets]
+            if address in lines:
+                if lines[0] != address:
+                    lines.remove(address)
+                    lines.insert(0, address)
+                demand_hits += 1
+            else:
+                misses += 1
+                lines.insert(0, address)
+                if len(lines) > assoc:
+                    lines.pop()
+        stats.demand_hits = demand_hits
+        stats.misses = misses
+
+
+def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> None:
+    """Tagged next-N-line loop: issue on every miss and prefetch-buffer hit."""
+    for core_id, addresses, cache, buffer, stats in lanes:
+        sets = cache._sets
+        num_sets = cache._num_sets
+        assoc = cache._associativity
+        bmap = buffer._blocks
+        bcap = buffer._capacity
+        bpop = bmap.pop
+        bpopitem = bmap.popitem
+        blen = len(bmap)
+        inflight_c = inflight[core_id]
+        demand_hits = prefetch_hits = late_hits = misses = 0
+        issued = evicted = 0
+        step = 0
+        for address in addresses:
+            lines = sets[address % num_sets]
+            if address in lines:
+                if lines[0] != address:
+                    lines.remove(address)
+                    lines.insert(0, address)
+                demand_hits += 1
+            else:
+                issued_at = bpop(address, None)
+                if issued_at is not None:
+                    blen -= 1
+                    if step - issued_at >= inflight_c:
+                        prefetch_hits += 1
+                    else:
+                        late_hits += 1
+                else:
+                    misses += 1
+                lines.insert(0, address)
+                if len(lines) > assoc:
+                    lines.pop()
+                for block in range(address + 1, address + 1 + degree):
+                    if block not in sets[block % num_sets] and block not in bmap:
+                        bmap[block] = step
+                        blen += 1
+                        issued += 1
+                        if blen > bcap:
+                            bpopitem(last=False)
+                            blen -= 1
+                            evicted += 1
+            step += 1
+        stats.demand_hits = demand_hits
+        stats.prefetch_hits = prefetch_hits
+        stats.late_hits = late_hits
+        stats.misses = misses
+        stats.prefetches_issued = issued
+        buffer.evicted_unused = evicted
+
+
+def run_stream_per_core(
+    lanes: List[Lane], inflight: Dict[int, int], prefetcher: PIFPrefetcher
+) -> None:
+    """PIF loop: private compactor/history/index/streams, fully inlined."""
+    config = prefetcher._config
+    region_blocks = config.spatial_region.region_blocks
+    offsets_table = _expand_offsets(region_blocks)
+    num_streams = config.stream_buffer.num_streams
+    lookahead = config.stream_buffer.lookahead_records
+    outstanding_cap = config.stream_buffer.capacity_records * region_blocks
+    for core_id, addresses, cache, buffer, stats in lanes:
+        engine = prefetcher._streams[core_id]
+        history = prefetcher._histories[core_id]
+        index = prefetcher._indices[core_id]
+        compactor = prefetcher._compactors[core_id]
+        records = history._records
+        hist_cap = history._capacity
+        next_pos = history._next_pos
+        index_entries = index._entries
+        index_capacity = index._capacity
+        index_get = index_entries.get
+        index_move_to_end = index_entries.move_to_end
+        index_popitem = index_entries.popitem
+        streams = engine._streams
+        owner = engine._owner
+        owner_pop = owner.pop
+        dispatches = engine.dispatches
+        record_reads = engine.record_reads
+        sets = cache._sets
+        num_sets = cache._num_sets
+        assoc = cache._associativity
+        bmap = buffer._blocks
+        bcap = buffer._capacity
+        bpop = bmap.pop
+        bpopitem = bmap.popitem
+        blen = len(bmap)
+        inflight_c = inflight[core_id]
+        trigger = compactor._trigger
+        mask = compactor._mask
+        demand_hits = prefetch_hits = late_hits = misses = 0
+        issued = evicted = 0
+        step = 0
+        for address in addresses:
+            # Spatial compaction (SpatialCompactor.feed, inlined).
+            if trigger is None:
+                trigger = address
+                mask = 0
+            else:
+                offset = address - trigger
+                if 0 <= offset < region_blocks:
+                    if offset:
+                        mask |= 1 << (offset - 1)
+                else:
+                    # Region closed: append to the history (HistoryBuffer.
+                    # append) and index the trigger (IndexTable.put).
+                    records[next_pos % hist_cap] = (trigger, mask)
+                    if trigger in index_entries:
+                        index_entries[trigger] = next_pos
+                        index_move_to_end(trigger)
+                    else:
+                        index_entries[trigger] = next_pos
+                        if len(index_entries) > index_capacity:
+                            index_popitem(last=False)
+                    next_pos += 1
+                    trigger = address
+                    mask = 0
+            # L1-I access (SetAssociativeCache.access / .insert, inlined).
+            lines = sets[address % num_sets]
+            if address in lines:
+                if lines[0] != address:
+                    lines.remove(address)
+                    lines.insert(0, address)
+                demand_hits += 1
+                is_miss = False
+            else:
+                issued_at = bpop(address, None)
+                if issued_at is not None:
+                    blen -= 1
+                    if step - issued_at >= inflight_c:
+                        prefetch_hits += 1
+                    else:
+                        late_hits += 1
+                    is_miss = False
+                else:
+                    misses += 1
+                    is_miss = True
+                lines.insert(0, address)
+                if len(lines) > assoc:
+                    lines.pop()
+            if is_miss:
+                # StreamEngine.on_miss, inlined.
+                stale = owner_pop(address, None)
+                if stale is not None:
+                    stale.outstanding.discard(address)
+                pos = index_get(address)
+                if pos is not None and 0 <= pos < next_pos and pos >= next_pos - hist_cap:
+                    stream = _Stream(pos)
+                    if len(streams) >= num_streams:
+                        retired = streams.pop(0)
+                        for block in retired.outstanding:
+                            owner_pop(block, None)
+                        retired.outstanding.clear()
+                    streams.append(stream)
+                    dispatches += 1
+                    blocks: List[int] = []
+                    spos = pos
+                    for _ in range(lookahead):
+                        if spos < 0 or spos >= next_pos or spos < next_pos - hist_cap:
+                            break
+                        record = records[spos % hist_cap]
+                        if record is None:
+                            break
+                        spos += 1
+                        record_reads += 1
+                        rec_trigger, rec_mask = record
+                        blocks.append(rec_trigger)
+                        for offset in offsets_table[rec_mask]:
+                            blocks.append(rec_trigger + offset)
+                    stream.next_pos = spos
+                    outstanding = stream.outstanding
+                    for block in blocks:
+                        if block not in owner:
+                            owner[block] = stream
+                            outstanding.add(block)
+                            if (
+                                block != address
+                                and block not in sets[block % num_sets]
+                                and block not in bmap
+                            ):
+                                bmap[block] = step
+                                blen += 1
+                                issued += 1
+                                if blen > bcap:
+                                    bpopitem(last=False)
+                                    blen -= 1
+                                    evicted += 1
+            else:
+                # StreamEngine.on_consume, inlined.
+                stream = owner_pop(address, None)
+                if stream is not None:
+                    outstanding = stream.outstanding
+                    outstanding.discard(address)
+                    if len(outstanding) < outstanding_cap:
+                        spos = stream.next_pos
+                        if 0 <= spos < next_pos and spos >= next_pos - hist_cap:
+                            record = records[spos % hist_cap]
+                            if record is not None:
+                                stream.next_pos = spos + 1
+                                record_reads += 1
+                                rec_trigger, rec_mask = record
+                                if rec_trigger not in owner:
+                                    owner[rec_trigger] = stream
+                                    outstanding.add(rec_trigger)
+                                    if (
+                                        rec_trigger not in sets[rec_trigger % num_sets]
+                                        and rec_trigger not in bmap
+                                    ):
+                                        bmap[rec_trigger] = step
+                                        blen += 1
+                                        issued += 1
+                                        if blen > bcap:
+                                            bpopitem(last=False)
+                                            blen -= 1
+                                            evicted += 1
+                                for offset in offsets_table[rec_mask]:
+                                    block = rec_trigger + offset
+                                    if block not in owner:
+                                        owner[block] = stream
+                                        outstanding.add(block)
+                                        if (
+                                            block not in sets[block % num_sets]
+                                            and block not in bmap
+                                        ):
+                                            bmap[block] = step
+                                            blen += 1
+                                            issued += 1
+                                            if blen > bcap:
+                                                bpopitem(last=False)
+                                                blen -= 1
+                                                evicted += 1
+            step += 1
+        # Write the hoisted state back to the owning objects.
+        stats.demand_hits = demand_hits
+        stats.prefetch_hits = prefetch_hits
+        stats.late_hits = late_hits
+        stats.misses = misses
+        stats.prefetches_issued = issued
+        buffer.evicted_unused = evicted
+        history._next_pos = next_pos
+        compactor._trigger = trigger
+        compactor._mask = mask
+        engine.dispatches = dispatches
+        engine.record_reads = record_reads
+
+
+def _passive_lane(
+    addresses: List[int], cache: SetAssociativeCache, stats: "CoreResult"
+) -> Iterator[None]:
+    """A lane with no stream engine (a core outside every SHIFT group)."""
+    sets = cache._sets
+    num_sets = cache._num_sets
+    assoc = cache._associativity
+    demand_hits = 0
+    misses = 0
+    for address in addresses:
+        lines = sets[address % num_sets]
+        if address in lines:
+            if lines[0] != address:
+                lines.remove(address)
+                lines.insert(0, address)
+            demand_hits += 1
+        else:
+            misses += 1
+            lines.insert(0, address)
+            if len(lines) > assoc:
+                lines.pop()
+        yield
+    stats.demand_hits = demand_hits
+    stats.misses = misses
+
+
+def _stream_lane(
+    addresses: List[int],
+    cache: SetAssociativeCache,
+    buffer: PrefetchBuffer,
+    stats: "CoreResult",
+    engine,
+    history,
+    index,
+    compactor,
+    is_trainer: bool,
+    region_blocks: int,
+    num_streams: int,
+    lookahead: int,
+    outstanding_cap: int,
+    records_per_llc_block: int,
+    inflight_c: int,
+) -> Iterator[None]:
+    """One core of a shared-history engine, resumed round-robin per access.
+
+    The generator keeps all per-core state in frame locals; only the shared
+    history/index state is read through the owning objects, because the
+    trainer lane mutates it between this lane's resumptions.
+    """
+    offsets_table = _expand_offsets(region_blocks)
+    records = history._records
+    hist_cap = history._capacity
+    index_entries = index._entries
+    index_capacity = index._capacity
+    index_get = index_entries.get
+    index_move_to_end = index_entries.move_to_end
+    index_popitem = index_entries.popitem
+    streams = engine._streams
+    owner = engine._owner
+    owner_pop = owner.pop
+    dispatches = engine.dispatches
+    record_reads = engine.record_reads
+    llc_reads = engine.llc_block_reads
+    sets = cache._sets
+    num_sets = cache._num_sets
+    assoc = cache._associativity
+    bmap = buffer._blocks
+    bcap = buffer._capacity
+    bpop = bmap.pop
+    bpopitem = bmap.popitem
+    blen = len(bmap)
+    trigger = compactor._trigger if is_trainer else None
+    mask = compactor._mask if is_trainer else 0
+    demand_hits = prefetch_hits = late_hits = misses = 0
+    issued = evicted = 0
+    step = 0
+    for address in addresses:
+        if is_trainer:
+            # SpatialCompactor.feed + HistoryBuffer.append + IndexTable.put.
+            if trigger is None:
+                trigger = address
+                mask = 0
+            else:
+                offset = address - trigger
+                if 0 <= offset < region_blocks:
+                    if offset:
+                        mask |= 1 << (offset - 1)
+                else:
+                    next_pos = history._next_pos
+                    records[next_pos % hist_cap] = (trigger, mask)
+                    if trigger in index_entries:
+                        index_entries[trigger] = next_pos
+                        index_move_to_end(trigger)
+                    else:
+                        index_entries[trigger] = next_pos
+                        if len(index_entries) > index_capacity:
+                            index_popitem(last=False)
+                    history._next_pos = next_pos + 1
+                    trigger = address
+                    mask = 0
+        lines = sets[address % num_sets]
+        if address in lines:
+            if lines[0] != address:
+                lines.remove(address)
+                lines.insert(0, address)
+            demand_hits += 1
+            is_miss = False
+        else:
+            issued_at = bpop(address, None)
+            if issued_at is not None:
+                blen -= 1
+                if step - issued_at >= inflight_c:
+                    prefetch_hits += 1
+                else:
+                    late_hits += 1
+                is_miss = False
+            else:
+                misses += 1
+                is_miss = True
+            lines.insert(0, address)
+            if len(lines) > assoc:
+                lines.pop()
+        if is_miss:
+            # StreamEngine.on_miss, inlined against the shared history.
+            stale = owner_pop(address, None)
+            if stale is not None:
+                stale.outstanding.discard(address)
+            pos = index_get(address)
+            if pos is not None:
+                next_pos = history._next_pos
+                if 0 <= pos < next_pos and pos >= next_pos - hist_cap:
+                    stream = _Stream(pos)
+                    if len(streams) >= num_streams:
+                        retired = streams.pop(0)
+                        for block in retired.outstanding:
+                            owner_pop(block, None)
+                        retired.outstanding.clear()
+                    streams.append(stream)
+                    dispatches += 1
+                    blocks: List[int] = []
+                    spos = pos
+                    for _ in range(lookahead):
+                        if spos < 0 or spos >= next_pos or spos < next_pos - hist_cap:
+                            break
+                        record = records[spos % hist_cap]
+                        if record is None:
+                            break
+                        if records_per_llc_block:
+                            llc_block = spos // records_per_llc_block
+                            if llc_block != stream.last_llc_block:
+                                stream.last_llc_block = llc_block
+                                llc_reads += 1
+                        spos += 1
+                        record_reads += 1
+                        rec_trigger, rec_mask = record
+                        blocks.append(rec_trigger)
+                        for offset in offsets_table[rec_mask]:
+                            blocks.append(rec_trigger + offset)
+                    stream.next_pos = spos
+                    outstanding = stream.outstanding
+                    for block in blocks:
+                        if block not in owner:
+                            owner[block] = stream
+                            outstanding.add(block)
+                            if (
+                                block != address
+                                and block not in sets[block % num_sets]
+                                and block not in bmap
+                            ):
+                                bmap[block] = step
+                                blen += 1
+                                issued += 1
+                                if blen > bcap:
+                                    bpopitem(last=False)
+                                    blen -= 1
+                                    evicted += 1
+        else:
+            # StreamEngine.on_consume, inlined against the shared history.
+            stream = owner_pop(address, None)
+            if stream is not None:
+                outstanding = stream.outstanding
+                outstanding.discard(address)
+                if len(outstanding) < outstanding_cap:
+                    spos = stream.next_pos
+                    next_pos = history._next_pos
+                    if 0 <= spos < next_pos and spos >= next_pos - hist_cap:
+                        record = records[spos % hist_cap]
+                        if record is not None:
+                            if records_per_llc_block:
+                                llc_block = spos // records_per_llc_block
+                                if llc_block != stream.last_llc_block:
+                                    stream.last_llc_block = llc_block
+                                    llc_reads += 1
+                            stream.next_pos = spos + 1
+                            record_reads += 1
+                            rec_trigger, rec_mask = record
+                            if rec_trigger not in owner:
+                                owner[rec_trigger] = stream
+                                outstanding.add(rec_trigger)
+                                if (
+                                    rec_trigger not in sets[rec_trigger % num_sets]
+                                    and rec_trigger not in bmap
+                                ):
+                                    bmap[rec_trigger] = step
+                                    blen += 1
+                                    issued += 1
+                                    if blen > bcap:
+                                        bpopitem(last=False)
+                                        blen -= 1
+                                        evicted += 1
+                            for offset in offsets_table[rec_mask]:
+                                block = rec_trigger + offset
+                                if block not in owner:
+                                    owner[block] = stream
+                                    outstanding.add(block)
+                                    if (
+                                        block not in sets[block % num_sets]
+                                        and block not in bmap
+                                    ):
+                                        bmap[block] = step
+                                        blen += 1
+                                        issued += 1
+                                        if blen > bcap:
+                                            bpopitem(last=False)
+                                            blen -= 1
+                                            evicted += 1
+        step += 1
+        yield
+    stats.demand_hits = demand_hits
+    stats.prefetch_hits = prefetch_hits
+    stats.late_hits = late_hits
+    stats.misses = misses
+    stats.prefetches_issued = issued
+    buffer.evicted_unused = evicted
+    if is_trainer:
+        compactor._trigger = trigger
+        compactor._mask = mask
+    engine.dispatches = dispatches
+    engine.record_reads = record_reads
+    engine.llc_block_reads = llc_reads
+
+
+def run_stream_shared(
+    lanes: List[Lane],
+    inflight: Dict[int, int],
+    prefetcher: "SHIFTPrefetcher | ConsolidatedSHIFTPrefetcher",
+) -> None:
+    """SHIFT loop: lanes advance round-robin, one access per core per step."""
+    config = prefetcher._config
+    region_blocks = config.spatial_region.region_blocks
+    num_streams = config.stream_buffer.num_streams
+    lookahead = config.stream_buffer.lookahead_records
+    outstanding_cap = config.stream_buffer.capacity_records * region_blocks
+    consolidated = isinstance(prefetcher, ConsolidatedSHIFTPrefetcher)
+    generators: List[Iterator[None]] = []
+    for core_id, addresses, cache, buffer, stats in lanes:
+        if consolidated:
+            group = prefetcher._group_of_core.get(core_id)
+            if group is None:
+                generators.append(_passive_lane(addresses, cache, stats))
+                continue
+            history, index, compactor = group.history, group.index, group.compactor
+            is_trainer = core_id == group.trainer_core
+        else:
+            history, index = prefetcher._history, prefetcher._index
+            compactor = prefetcher._compactor
+            is_trainer = core_id == prefetcher._trainer_core
+        engine = prefetcher._streams[core_id]
+        generators.append(
+            _stream_lane(
+                addresses,
+                cache,
+                buffer,
+                stats,
+                engine,
+                history,
+                index,
+                compactor,
+                is_trainer,
+                region_blocks,
+                num_streams,
+                lookahead,
+                outstanding_cap,
+                engine._records_per_llc_block,
+                inflight[core_id],
+            )
+        )
+    # Round-robin driver: resume each live lane once per step; lanes whose
+    # traces are exhausted drop out, exactly like the generic loop's skip.
+    lengths = {len(addresses) for _, addresses, _, _, _ in lanes}
+    if len(lengths) == 1:
+        # Equal-length traces (the common case): no lane ever drops out, so
+        # drive a fixed number of rounds and then flush the write-backs that
+        # run when each generator falls off its trace loop.
+        for _ in range(lengths.pop()):
+            for generator in generators:
+                next(generator)
+        for generator in generators:
+            try:
+                next(generator)
+            except StopIteration:
+                pass
+        return
+    active = generators
+    while active:
+        alive: List[Iterator[None]] = []
+        append = alive.append
+        for generator in active:
+            try:
+                next(generator)
+            except StopIteration:
+                continue
+            append(generator)
+        active = alive
+
+
+def run_per_core_generic(
+    lanes: List[Lane], inflight: Dict[int, int], prefetcher
+) -> None:
+    """Sequential per-core loop for state-private engines (`shares_state`
+    False) that have no fully inlined specialization: cache and buffer are
+    inlined, the prefetcher keeps its public ``on_access`` call."""
+    on_access = prefetcher.on_access
+    for core_id, addresses, cache, buffer, stats in lanes:
+        sets = cache._sets
+        num_sets = cache._num_sets
+        assoc = cache._associativity
+        bmap = buffer._blocks
+        bcap = buffer._capacity
+        bpop = bmap.pop
+        bpopitem = bmap.popitem
+        blen = len(bmap)
+        inflight_c = inflight[core_id]
+        demand_hits = prefetch_hits = late_hits = misses = 0
+        issued = evicted = 0
+        step = 0
+        for address in addresses:
+            lines = sets[address % num_sets]
+            if address in lines:
+                if lines[0] != address:
+                    lines.remove(address)
+                    lines.insert(0, address)
+                demand_hits += 1
+                outcome = 0
+            else:
+                issued_at = bpop(address, None)
+                if issued_at is not None:
+                    blen -= 1
+                    if step - issued_at >= inflight_c:
+                        prefetch_hits += 1
+                    else:
+                        late_hits += 1
+                    outcome = 2
+                else:
+                    misses += 1
+                    outcome = 1
+                lines.insert(0, address)
+                if len(lines) > assoc:
+                    lines.pop()
+            for block in on_access(core_id, address, outcome):
+                if block not in sets[block % num_sets] and block not in bmap:
+                    bmap[block] = step
+                    blen += 1
+                    issued += 1
+                    if blen > bcap:
+                        bpopitem(last=False)
+                        blen -= 1
+                        evicted += 1
+            step += 1
+        stats.demand_hits = demand_hits
+        stats.prefetch_hits = prefetch_hits
+        stats.late_hits = late_hits
+        stats.misses = misses
+        stats.prefetches_issued = issued
+        buffer.evicted_unused = evicted
+
+
+__all__ = [
+    "run_baseline",
+    "run_next_line",
+    "run_stream_per_core",
+    "run_stream_shared",
+    "run_per_core_generic",
+]

@@ -1,0 +1,504 @@
+"""Frozen PR-1 reference implementation of the simulation hot path.
+
+This module is a verbatim snapshot of the cache models, prefetcher engines
+and round-robin simulation loop as they shipped in PR 1, kept for two jobs:
+
+* :mod:`repro.bench` times it against the optimized :mod:`repro.sim.engine`
+  to quantify hot-loop speedups (the ``BENCH_*.json`` trajectory);
+* the regression tests assert that the optimized engines produce *exactly*
+  the same per-core counters, so refactors cannot silently change results.
+
+Do not optimize or "fix" this module; it is the baseline.  The only edits
+relative to PR 1 are the imports (shared dataclasses come from the live
+modules) and the removal of docstrings that duplicated the live ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..config import (
+    CacheConfig,
+    NextLineConfig,
+    PIFConfig,
+    SHIFTConfig,
+    StreamBufferConfig,
+    SystemConfig,
+    scaled_system,
+)
+from ..errors import PrefetcherError, SimulationError
+from ..workloads.trace import TraceSet
+from .engine import DEFAULT_PREFETCH_BUFFER_BLOCKS, CoreResult, SimulationResult
+
+HIT = 0
+MISS = 1
+PREFETCH_HIT = 2
+
+Record = Tuple[int, int]
+
+
+class LegacySetAssociativeCache:
+    """PR-1 set-associative LRU cache (per-set MRU-ordered lists)."""
+
+    __slots__ = ("_sets", "_num_sets", "_associativity")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
+        if self._num_sets < 1:
+            raise SimulationError("cache must have at least one set")
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+
+    def access(self, block_address: int) -> bool:
+        lines = self._sets[block_address % self._num_sets]
+        if block_address in lines:
+            if lines[0] != block_address:
+                lines.remove(block_address)
+                lines.insert(0, block_address)
+            return True
+        return False
+
+    def contains(self, block_address: int) -> bool:
+        return block_address in self._sets[block_address % self._num_sets]
+
+    def insert(self, block_address: int) -> int | None:
+        lines = self._sets[block_address % self._num_sets]
+        if block_address in lines:
+            if lines[0] != block_address:
+                lines.remove(block_address)
+                lines.insert(0, block_address)
+            return None
+        lines.insert(0, block_address)
+        if len(lines) > self._associativity:
+            return lines.pop()
+        return None
+
+
+class LegacyPrefetchBuffer:
+    """PR-1 FIFO prefetch buffer (OrderedDict of block -> issue step)."""
+
+    __slots__ = ("_capacity", "_blocks", "evicted_unused")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise SimulationError("prefetch buffer needs a positive capacity")
+        self._capacity = capacity
+        self._blocks: OrderedDict[int, int] = OrderedDict()
+        self.evicted_unused = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def insert(self, block_address: int, issued_at: int = 0) -> bool:
+        if block_address in self._blocks:
+            return False
+        self._blocks[block_address] = issued_at
+        if len(self._blocks) > self._capacity:
+            self._blocks.popitem(last=False)
+            self.evicted_unused += 1
+        return True
+
+    def consume(self, block_address: int) -> int | None:
+        return self._blocks.pop(block_address, None)
+
+
+class LegacyPrefetcher:
+    name = "none"
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        return []
+
+    def history_block_reads(self, core_id: int) -> int:
+        return 0
+
+
+class LegacyNullPrefetcher(LegacyPrefetcher):
+    pass
+
+
+class LegacyNextLinePrefetcher(LegacyPrefetcher):
+    name = "next_line"
+
+    def __init__(self, config: Optional[NextLineConfig] = None) -> None:
+        self._config = config if config is not None else NextLineConfig()
+        self._degree = self._config.degree
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        if outcome == HIT:
+            return []
+        return list(range(block_address + 1, block_address + 1 + self._degree))
+
+
+class LegacySpatialCompactor:
+    __slots__ = ("_region_blocks", "_trigger", "_mask")
+
+    def __init__(self, region_blocks: int) -> None:
+        if region_blocks < 2:
+            raise PrefetcherError("a spatial region must cover at least 2 blocks")
+        self._region_blocks = region_blocks
+        self._trigger: Optional[int] = None
+        self._mask = 0
+
+    def feed(self, block_address: int) -> Optional[Record]:
+        trigger = self._trigger
+        if trigger is None:
+            self._trigger = block_address
+            self._mask = 0
+            return None
+        offset = block_address - trigger
+        if 0 <= offset < self._region_blocks:
+            if offset > 0:
+                self._mask |= 1 << (offset - 1)
+            return None
+        record = (trigger, self._mask)
+        self._trigger = block_address
+        self._mask = 0
+        return record
+
+
+def legacy_expand_record(record: Record, region_blocks: int) -> List[int]:
+    trigger, mask = record
+    blocks = [trigger]
+    for offset in range(1, region_blocks):
+        if mask & (1 << (offset - 1)):
+            blocks.append(trigger + offset)
+    return blocks
+
+
+class LegacyHistoryBuffer:
+    __slots__ = ("_capacity", "_records", "_next_pos")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise PrefetcherError("history buffer needs a positive capacity")
+        self._capacity = capacity
+        self._records: List[Optional[Record]] = [None] * capacity
+        self._next_pos = 0
+
+    def append(self, record: Record) -> int:
+        pos = self._next_pos
+        self._records[pos % self._capacity] = record
+        self._next_pos = pos + 1
+        return pos
+
+    def valid(self, pos: int) -> bool:
+        return 0 <= pos < self._next_pos and pos >= self._next_pos - self._capacity
+
+    def get(self, pos: int) -> Optional[Record]:
+        if not self.valid(pos):
+            return None
+        return self._records[pos % self._capacity]
+
+
+class LegacyIndexTable:
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise PrefetcherError("index table needs a positive capacity")
+        self._capacity = capacity
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def put(self, trigger: int, pos: int) -> None:
+        entries = self._entries
+        if trigger in entries:
+            entries[trigger] = pos
+            entries.move_to_end(trigger)
+            return
+        entries[trigger] = pos
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def get(self, trigger: int) -> Optional[int]:
+        return self._entries.get(trigger)
+
+
+class _LegacyStream:
+    __slots__ = ("next_pos", "outstanding", "last_llc_block")
+
+    def __init__(self, next_pos: int) -> None:
+        self.next_pos = next_pos
+        self.outstanding: set[int] = set()
+        self.last_llc_block = -1
+
+
+class LegacyStreamEngine:
+    def __init__(
+        self,
+        history: LegacyHistoryBuffer,
+        index: LegacyIndexTable,
+        stream_config: StreamBufferConfig,
+        region_blocks: int,
+        records_per_llc_block: int = 0,
+    ) -> None:
+        self._history = history
+        self._index = index
+        self._config = stream_config
+        self._region_blocks = region_blocks
+        self._records_per_llc_block = records_per_llc_block
+        self._streams: List[_LegacyStream] = []
+        self._owner: Dict[int, _LegacyStream] = {}
+        self.dispatches = 0
+        self.record_reads = 0
+        self.llc_block_reads = 0
+
+    def _read_record(self, stream: _LegacyStream) -> List[int]:
+        record = self._history.get(stream.next_pos)
+        if record is None:
+            return []
+        if self._records_per_llc_block:
+            llc_block = stream.next_pos // self._records_per_llc_block
+            if llc_block != stream.last_llc_block:
+                stream.last_llc_block = llc_block
+                self.llc_block_reads += 1
+        stream.next_pos += 1
+        self.record_reads += 1
+        return legacy_expand_record(record, self._region_blocks)
+
+    def _track(self, stream: _LegacyStream, blocks: List[int]) -> List[int]:
+        fresh = []
+        owner = self._owner
+        for block in blocks:
+            if block not in owner:
+                owner[block] = stream
+                stream.outstanding.add(block)
+                fresh.append(block)
+        return fresh
+
+    def _retire_stream(self, stream: _LegacyStream) -> None:
+        for block in stream.outstanding:
+            self._owner.pop(block, None)
+        stream.outstanding.clear()
+
+    def on_miss(self, block_address: int) -> List[int]:
+        stale = self._owner.pop(block_address, None)
+        if stale is not None:
+            stale.outstanding.discard(block_address)
+        pos = self._index.get(block_address)
+        if pos is None or not self._history.valid(pos):
+            return []
+        stream = _LegacyStream(pos)
+        if len(self._streams) >= self._config.num_streams:
+            self._retire_stream(self._streams.pop(0))
+        self._streams.append(stream)
+        self.dispatches += 1
+        blocks: List[int] = []
+        for _ in range(self._config.lookahead_records):
+            blocks.extend(self._read_record(stream))
+        prefetches = self._track(stream, blocks)
+        return [b for b in prefetches if b != block_address]
+
+    def on_consume(self, block_address: int) -> List[int]:
+        stream = self._owner.pop(block_address, None)
+        if stream is None:
+            return []
+        stream.outstanding.discard(block_address)
+        if len(stream.outstanding) >= self._config.capacity_records * self._region_blocks:
+            return []
+        return self._track(stream, self._read_record(stream))
+
+
+class LegacyPIFPrefetcher(LegacyPrefetcher):
+    name = "pif"
+
+    def __init__(self, num_cores: int, config: Optional[PIFConfig] = None) -> None:
+        if num_cores < 1:
+            raise PrefetcherError("need at least one core")
+        self._config = config if config is not None else PIFConfig()
+        region_blocks = self._config.spatial_region.region_blocks
+        self._compactors = [LegacySpatialCompactor(region_blocks) for _ in range(num_cores)]
+        self._histories = [
+            LegacyHistoryBuffer(self._config.history_entries) for _ in range(num_cores)
+        ]
+        self._indices = [LegacyIndexTable(self._config.index_entries) for _ in range(num_cores)]
+        self._streams = [
+            LegacyStreamEngine(
+                self._histories[core],
+                self._indices[core],
+                self._config.stream_buffer,
+                region_blocks,
+            )
+            for core in range(num_cores)
+        ]
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        record = self._compactors[core_id].feed(block_address)
+        if record is not None:
+            pos = self._histories[core_id].append(record)
+            self._indices[core_id].put(record[0], pos)
+        if outcome == MISS:
+            return self._streams[core_id].on_miss(block_address)
+        return self._streams[core_id].on_consume(block_address)
+
+
+class LegacySHIFTPrefetcher(LegacyPrefetcher):
+    name = "shift"
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: Optional[SHIFTConfig] = None,
+        trainer_core: int = 0,
+    ) -> None:
+        if num_cores < 1:
+            raise PrefetcherError("need at least one core")
+        if not (0 <= trainer_core < num_cores):
+            raise PrefetcherError("trainer core out of range")
+        self._config = config if config is not None else SHIFTConfig()
+        self._trainer_core = trainer_core
+        region_blocks = self._config.spatial_region.region_blocks
+        self._compactor = LegacySpatialCompactor(region_blocks)
+        self._history = LegacyHistoryBuffer(self._config.history_entries)
+        self._index = LegacyIndexTable(self._config.history_entries)
+        records_per_block = (
+            self._config.records_per_llc_block if self._config.virtualized else 0
+        )
+        self._streams = [
+            LegacyStreamEngine(
+                self._history,
+                self._index,
+                self._config.stream_buffer,
+                region_blocks,
+                records_per_llc_block=records_per_block,
+            )
+            for _ in range(num_cores)
+        ]
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        if core_id == self._trainer_core:
+            record = self._compactor.feed(block_address)
+            if record is not None:
+                pos = self._history.append(record)
+                self._index.put(record[0], pos)
+        if outcome == MISS:
+            return self._streams[core_id].on_miss(block_address)
+        return self._streams[core_id].on_consume(block_address)
+
+    def history_block_reads(self, core_id: int) -> int:
+        if self._config.zero_latency_history or not self._config.virtualized:
+            return 0
+        return self._streams[core_id].llc_block_reads
+
+
+def legacy_make_prefetcher(
+    name: str,
+    system: SystemConfig,
+    pif_config: Optional[PIFConfig] = None,
+    shift_config: Optional[SHIFTConfig] = None,
+    next_line_config: Optional[NextLineConfig] = None,
+) -> LegacyPrefetcher:
+    if name in ("none", "baseline"):
+        return LegacyNullPrefetcher()
+    if name in ("next_line", "nextline", "nl"):
+        return LegacyNextLinePrefetcher(next_line_config)
+    if name == "pif":
+        return LegacyPIFPrefetcher(system.num_cores, pif_config)
+    if name == "shift":
+        return LegacySHIFTPrefetcher(system.num_cores, shift_config)
+    raise PrefetcherError(f"unknown prefetcher {name!r}; known: none, next_line, pif, shift")
+
+
+class LegacySimulationEngine:
+    """The PR-1 round-robin simulation loop, verbatim."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        prefetcher: Optional[LegacyPrefetcher] = None,
+        prefetch_buffer_blocks: int = DEFAULT_PREFETCH_BUFFER_BLOCKS,
+    ) -> None:
+        self._system = system if system is not None else scaled_system()
+        self._prefetcher = prefetcher if prefetcher is not None else LegacyPrefetcher()
+        self._buffer_blocks = prefetch_buffer_blocks
+
+    def run(self, trace_set: TraceSet) -> SimulationResult:
+        system = self._system
+        if trace_set.num_cores > system.num_cores:
+            raise SimulationError(
+                f"trace set has {trace_set.num_cores} cores but the system "
+                f"only has {system.num_cores}"
+            )
+        prefetcher = self._prefetcher
+        on_access = prefetcher.on_access
+
+        cores = sorted(trace_set.traces, key=lambda t: t.core_id)
+        caches = {t.core_id: LegacySetAssociativeCache(system.l1i) for t in cores}
+        buffers = {t.core_id: LegacyPrefetchBuffer(self._buffer_blocks) for t in cores}
+        results = {
+            t.core_id: CoreResult(
+                core_id=t.core_id,
+                accesses=t.num_accesses,
+                instructions=t.num_instructions,
+            )
+            for t in cores
+        }
+
+        max_len = max(t.num_accesses for t in cores)
+        lanes = [
+            (t.core_id, t.addresses, caches[t.core_id], buffers[t.core_id], results[t.core_id])
+            for t in cores
+        ]
+        miss_latency = system.llc_demand_latency_cycles()
+        inflight = {
+            t.core_id: max(
+                1,
+                round(miss_latency * system.core.base_ipc / t.instructions_per_block),
+            )
+            for t in cores
+        }
+        for step in range(max_len):
+            for core_id, addresses, cache, buffer, stats in lanes:
+                if step >= len(addresses):
+                    continue
+                address = addresses[step]
+                if cache.access(address):
+                    outcome = HIT
+                    stats.demand_hits += 1
+                else:
+                    issued_at = buffer.consume(address)
+                    if issued_at is not None:
+                        outcome = PREFETCH_HIT
+                        if step - issued_at >= inflight[core_id]:
+                            stats.prefetch_hits += 1
+                        else:
+                            stats.late_hits += 1
+                    else:
+                        outcome = MISS
+                        stats.misses += 1
+                    cache.insert(address)
+                for block in on_access(core_id, address, outcome):
+                    if not cache.contains(block) and buffer.insert(block, step):
+                        stats.prefetches_issued += 1
+
+        for lane_core_id, _, _, lane_buffer, stats in lanes:
+            stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
+            stats.history_block_reads = prefetcher.history_block_reads(lane_core_id)
+        return SimulationResult(
+            prefetcher_name=prefetcher.name,
+            system=system,
+            cores=[results[t.core_id] for t in cores],
+        )
+
+
+def legacy_simulate(
+    trace_set: TraceSet,
+    system: Optional[SystemConfig] = None,
+    prefetcher: "LegacyPrefetcher | str" = "none",
+    **factory_kwargs,
+) -> SimulationResult:
+    """PR-1 equivalent of :func:`repro.sim.simulate`."""
+    sys_config = system if system is not None else scaled_system()
+    if isinstance(prefetcher, str):
+        prefetcher = legacy_make_prefetcher(prefetcher, sys_config, **factory_kwargs)
+    engine = LegacySimulationEngine(system=sys_config, prefetcher=prefetcher)
+    return engine.run(trace_set)
+
+
+__all__ = [
+    "LegacySetAssociativeCache",
+    "LegacyPrefetchBuffer",
+    "LegacySimulationEngine",
+    "legacy_simulate",
+    "legacy_make_prefetcher",
+]

@@ -4,6 +4,16 @@ Addresses everywhere are *block* addresses (see
 :mod:`repro.workloads.address_space`), so the models never deal with byte
 offsets: a set-associative cache maps a block address to a set by simple
 modulo and stores the full block address as the tag.
+
+Layout contract: both structures are plain-array-backed so the specialized
+loops in :mod:`repro.sim._fastpath` can inline their operations.  A cache
+set is a flat MRU-ordered array of tags (``_sets[set_index]``); membership
+is a C-level scan, which beats any pointer structure at the associativities
+of Table I (2–16).  The prefetch buffer is one insertion-ordered map from
+block to issue timestamp (``_blocks``) whose FIFO eviction is an O(1)
+``popitem``.  The methods here define the semantics; the fast paths mutate
+``_sets`` / ``_blocks`` directly and are pinned to these methods by the
+property and equivalence tests.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from ..errors import SimulationError
 class SetAssociativeCache:
     """A set-associative cache with true-LRU replacement.
 
-    Each set is a short list of block addresses ordered MRU-first; with the
+    Each set is a flat array of block addresses ordered MRU-first; with the
     associativities of Table I (2–16) a list scan is faster in CPython than
     any cleverer structure.
     """

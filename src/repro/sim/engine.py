@@ -5,6 +5,16 @@ shared structures (the SHIFT history and index) warming up concurrently with
 the consumers — a sequential per-core loop would let the trainer finish its
 whole trace before any other core issues a lookup, which is both unrealistic
 and unfairly favourable.
+
+For engines whose state is entirely per-core (the baseline, next-line and
+PIF) the interleaving is unobservable: core ``c``'s ``k``-th access always
+happens at global step ``k`` whichever order lanes are visited, so
+:class:`SimulationEngine` runs those engines through sequential per-core
+loops from :mod:`repro.sim._fastpath` with the cache, buffer and stream
+operations inlined.  Shared-history engines (SHIFT) keep the round-robin
+order via per-lane generators.  Results are bit-identical across all paths;
+the regression tests pin them to the frozen PR-1 loop in
+:mod:`repro.sim._legacy`.
 """
 
 from __future__ import annotations
@@ -16,7 +26,19 @@ from ..config import SystemConfig, scaled_system
 from ..errors import SimulationError
 from ..workloads.trace import TraceSet
 from .cache import PrefetchBuffer, SetAssociativeCache
-from .prefetchers import HIT, MISS, PREFETCH_HIT, Prefetcher, make_prefetcher
+from .prefetchers import (
+    HIT,
+    MISS,
+    PREFETCH_HIT,
+    ConsolidatedSHIFTPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    PIFPrefetcher,
+    Prefetcher,
+    SHIFTPrefetcher,
+    make_prefetcher,
+)
+from . import _fastpath
 
 #: Default per-core prefetch-buffer capacity in blocks (4 streams x 12
 #: records x ~5 blocks per record, rounded up).
@@ -140,7 +162,6 @@ class SimulationEngine:
                 f"only has {system.num_cores}"
             )
         prefetcher = self._prefetcher
-        on_access = prefetcher.on_access
 
         cores = sorted(trace_set.traces, key=lambda t: t.core_id)
         caches = {t.core_id: SetAssociativeCache(system.l1i) for t in cores}
@@ -153,8 +174,6 @@ class SimulationEngine:
             )
             for t in cores
         }
-
-        max_len = max(t.num_accesses for t in cores)
         lanes = [
             (t.core_id, t.addresses, caches[t.core_id], buffers[t.core_id], results[t.core_id])
             for t in cores
@@ -171,6 +190,37 @@ class SimulationEngine:
             )
             for t in cores
         }
+
+        # Exact-type dispatch: subclasses may override on_access, so they
+        # fall through to the per-core or round-robin generic loops below.
+        ptype = type(prefetcher)
+        if ptype is NullPrefetcher or ptype is Prefetcher:
+            _fastpath.run_baseline(lanes)
+        elif ptype is NextLinePrefetcher:
+            _fastpath.run_next_line(lanes, inflight, prefetcher._degree)
+        elif ptype is PIFPrefetcher:
+            _fastpath.run_stream_per_core(lanes, inflight, prefetcher)
+        elif ptype is SHIFTPrefetcher or ptype is ConsolidatedSHIFTPrefetcher:
+            _fastpath.run_stream_shared(lanes, inflight, prefetcher)
+        elif not getattr(prefetcher, "shares_state", True):
+            _fastpath.run_per_core_generic(lanes, inflight, prefetcher)
+        else:
+            self._run_round_robin(lanes, inflight, prefetcher)
+
+        for lane_core_id, _, _, lane_buffer, stats in lanes:
+            stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
+            stats.history_block_reads = prefetcher.history_block_reads(lane_core_id)
+        return SimulationResult(
+            prefetcher_name=prefetcher.name,
+            system=system,
+            cores=[results[t.core_id] for t in cores],
+        )
+
+    @staticmethod
+    def _run_round_robin(lanes, inflight, prefetcher) -> None:
+        """Generic loop over the public APIs, for custom prefetchers."""
+        on_access = prefetcher.on_access
+        max_len = max(len(addresses) for _, addresses, _, _, _ in lanes)
         for step in range(max_len):
             for core_id, addresses, cache, buffer, stats in lanes:
                 if step >= len(addresses):
@@ -194,15 +244,6 @@ class SimulationEngine:
                 for block in on_access(core_id, address, outcome):
                     if not cache.contains(block) and buffer.insert(block, step):
                         stats.prefetches_issued += 1
-
-        for lane_core_id, _, _, lane_buffer, stats in lanes:
-            stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
-            stats.history_block_reads = prefetcher.history_block_reads(lane_core_id)
-        return SimulationResult(
-            prefetcher_name=prefetcher.name,
-            system=system,
-            cores=[results[t.core_id] for t in cores],
-        )
 
 
 def simulate(

@@ -21,12 +21,21 @@ mirroring Sections 4.1–4.2 of the paper:
 PIF instantiates all four per core; SHIFT shares one history and one index
 among all cores, trains them from a single designated core, and (when
 ``virtualized``) accounts the LLC blocks read to fetch history records.
+:class:`ConsolidatedSHIFTPrefetcher` models the consolidation experiment of
+Section 5.5: one logical SHIFT per co-scheduled workload, splitting the
+shared history capacity between the stacks.
+
+Performance notes: :mod:`repro.sim._fastpath` inlines the hot paths of these
+classes into specialized simulation loops, reaching into the underscore
+attributes directly.  The classes here stay the single source of truth for
+*semantics* — the regression tests pin the fast paths to them and to the
+frozen PR-1 reference in :mod:`repro.sim._legacy`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import NextLineConfig, PIFConfig, SHIFTConfig, StreamBufferConfig, SystemConfig
 from ..errors import PrefetcherError
@@ -39,11 +48,40 @@ PREFETCH_HIT = 2
 #: A spatial region record: (trigger block address, neighbour bit mask).
 Record = Tuple[int, int]
 
+#: Per-``region_blocks`` lookup tables mapping a neighbour bit mask to the
+#: tuple of block offsets it encodes, so record expansion in the hot loop is
+#: a table lookup instead of a bit-scan (masks are at most 2**(R-1) values).
+_EXPAND_TABLES: Dict[int, List[Tuple[int, ...]]] = {}
+
+
+def _expand_offsets(region_blocks: int) -> List[Tuple[int, ...]]:
+    """The offset table for ``region_blocks``-wide spatial regions."""
+    table = _EXPAND_TABLES.get(region_blocks)
+    if table is None:
+        table = [
+            tuple(
+                offset
+                for offset in range(1, region_blocks)
+                if mask & (1 << (offset - 1))
+            )
+            for mask in range(1 << (region_blocks - 1))
+        ]
+        _EXPAND_TABLES[region_blocks] = table
+    return table
+
 
 class Prefetcher:
-    """Base class: never prefetches."""
+    """Base class: never prefetches.
+
+    ``shares_state`` declares whether the engine couples cores through shared
+    mutable state (like SHIFT's history).  The simulation loop may process
+    cores sequentially when it is False; shared-state engines must be stepped
+    round-robin so every core observes the same history interleaving.
+    Subclasses with cross-core state must leave it True.
+    """
 
     name = "none"
+    shares_state = True
 
     def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
         """Observe one retire-order access; return blocks to prefetch."""
@@ -57,6 +95,8 @@ class Prefetcher:
 class NullPrefetcher(Prefetcher):
     """Explicit no-prefetch baseline."""
 
+    shares_state = False
+
 
 class NextLinePrefetcher(Prefetcher):
     """Tagged next-N-line prefetcher.
@@ -67,6 +107,7 @@ class NextLinePrefetcher(Prefetcher):
     """
 
     name = "next_line"
+    shares_state = False
 
     def __init__(self, config: Optional[NextLineConfig] = None) -> None:
         self._config = config if config is not None else NextLineConfig()
@@ -125,9 +166,8 @@ def expand_record(record: Record, region_blocks: int) -> List[int]:
     """Block addresses covered by a record, trigger first."""
     trigger, mask = record
     blocks = [trigger]
-    for offset in range(1, region_blocks):
-        if mask & (1 << (offset - 1)):
-            blocks.append(trigger + offset)
+    for offset in _expand_offsets(region_blocks)[mask]:
+        blocks.append(trigger + offset)
     return blocks
 
 
@@ -210,6 +250,19 @@ class _Stream:
 class StreamEngine:
     """Per-core stream buffers replaying a (possibly shared) history."""
 
+    __slots__ = (
+        "_history",
+        "_index",
+        "_config",
+        "_region_blocks",
+        "_records_per_llc_block",
+        "_streams",
+        "_owner",
+        "dispatches",
+        "record_reads",
+        "llc_block_reads",
+    )
+
     def __init__(
         self,
         history: HistoryBuffer,
@@ -245,10 +298,11 @@ class StreamEngine:
     def _track(self, stream: _Stream, blocks: List[int]) -> List[int]:
         fresh = []
         owner = self._owner
+        outstanding = stream.outstanding
         for block in blocks:
             if block not in owner:
                 owner[block] = stream
-                stream.outstanding.add(block)
+                outstanding.add(block)
                 fresh.append(block)
         return fresh
 
@@ -300,6 +354,7 @@ class PIFPrefetcher(Prefetcher):
     """Proactive Instruction Fetch: private history, index and streams per core."""
 
     name = "pif"
+    shares_state = False
 
     def __init__(self, num_cores: int, config: Optional[PIFConfig] = None) -> None:
         if num_cores < 1:
@@ -346,6 +401,7 @@ class SHIFTPrefetcher(Prefetcher):
     """
 
     name = "shift"
+    shares_state = True
 
     def __init__(
         self,
@@ -403,14 +459,127 @@ class SHIFTPrefetcher(Prefetcher):
         return self._streams[core_id].llc_block_reads
 
 
+class _ShiftGroup:
+    """One logical SHIFT instance serving a group of cores."""
+
+    __slots__ = ("core_ids", "trainer_core", "compactor", "history", "index")
+
+    def __init__(
+        self,
+        core_ids: Tuple[int, ...],
+        region_blocks: int,
+        history_entries: int,
+    ) -> None:
+        self.core_ids = core_ids
+        self.trainer_core = min(core_ids)
+        self.compactor = SpatialCompactor(region_blocks)
+        self.history = HistoryBuffer(history_entries)
+        self.index = IndexTable(history_entries)
+
+
+class ConsolidatedSHIFTPrefetcher(Prefetcher):
+    """SHIFT under workload consolidation (Section 5.5).
+
+    Consolidated stacks have disjoint instruction footprints, so one shared
+    history trained by one core would only ever help that core's co-runners.
+    The paper's answer is one *logical* SHIFT per workload; with
+    ``split_history`` (the default) the aggregate history budget is divided
+    evenly between the stacks, modelling a fixed storage budget, otherwise
+    every stack gets the full configured history.
+    """
+
+    name = "shift"
+    shares_state = True
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        config: Optional[SHIFTConfig] = None,
+        split_history: bool = True,
+    ) -> None:
+        if not groups:
+            raise PrefetcherError("need at least one core group")
+        self._config = config if config is not None else SHIFTConfig()
+        self._split_history = split_history
+        region_blocks = self._config.spatial_region.region_blocks
+        entries = self._config.history_entries
+        if split_history:
+            entries = max(16, entries // len(groups))
+        self._group_entries = entries
+        seen: set[int] = set()
+        self._groups: List[_ShiftGroup] = []
+        self._group_of_core: Dict[int, _ShiftGroup] = {}
+        for group in groups:
+            core_ids = tuple(sorted(group))
+            if not core_ids:
+                raise PrefetcherError("core groups cannot be empty")
+            overlap = seen.intersection(core_ids)
+            if overlap:
+                raise PrefetcherError(f"cores {sorted(overlap)} appear in two groups")
+            seen.update(core_ids)
+            shift_group = _ShiftGroup(core_ids, region_blocks, entries)
+            self._groups.append(shift_group)
+            for core_id in core_ids:
+                self._group_of_core[core_id] = shift_group
+        records_per_block = (
+            self._config.records_per_llc_block if self._config.virtualized else 0
+        )
+        self._streams = {
+            core_id: StreamEngine(
+                group.history,
+                group.index,
+                self._config.stream_buffer,
+                region_blocks,
+                records_per_llc_block=records_per_block,
+            )
+            for core_id, group in self._group_of_core.items()
+        }
+
+    @property
+    def config(self) -> SHIFTConfig:
+        return self._config
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def history_entries_per_group(self) -> int:
+        return self._group_entries
+
+    def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
+        group = self._group_of_core.get(core_id)
+        if group is None:
+            return []
+        if core_id == group.trainer_core:
+            record = group.compactor.feed(block_address)
+            if record is not None:
+                pos = group.history.append(record)
+                group.index.put(record[0], pos)
+        if outcome == MISS:
+            return self._streams[core_id].on_miss(block_address)
+        return self._streams[core_id].on_consume(block_address)
+
+    def history_block_reads(self, core_id: int) -> int:
+        if self._config.zero_latency_history or not self._config.virtualized:
+            return 0
+        stream = self._streams.get(core_id)
+        return stream.llc_block_reads if stream is not None else 0
+
+
 def make_prefetcher(
     name: str,
     system: SystemConfig,
     pif_config: Optional[PIFConfig] = None,
     shift_config: Optional[SHIFTConfig] = None,
     next_line_config: Optional[NextLineConfig] = None,
+    shift_groups: Optional[Sequence[Sequence[int]]] = None,
 ) -> Prefetcher:
-    """Factory mapping an engine name to a configured prefetcher instance."""
+    """Factory mapping an engine name to a configured prefetcher instance.
+
+    ``shift_groups`` selects the consolidated variant of SHIFT: one logical
+    history per group of core ids, splitting the history budget evenly.
+    """
     if name in ("none", "baseline"):
         return NullPrefetcher()
     if name in ("next_line", "nextline", "nl"):
@@ -418,6 +587,8 @@ def make_prefetcher(
     if name == "pif":
         return PIFPrefetcher(system.num_cores, pif_config)
     if name == "shift":
+        if shift_groups is not None:
+            return ConsolidatedSHIFTPrefetcher(shift_groups, shift_config)
         return SHIFTPrefetcher(system.num_cores, shift_config)
     raise PrefetcherError(
         f"unknown prefetcher {name!r}; known: none, next_line, pif, shift"
@@ -439,5 +610,6 @@ __all__ = [
     "StreamEngine",
     "PIFPrefetcher",
     "SHIFTPrefetcher",
+    "ConsolidatedSHIFTPrefetcher",
     "make_prefetcher",
 ]

@@ -1,0 +1,265 @@
+"""Sensitivity sweeps over the paper's experimental axes.
+
+The headline claim of KaynakGF13 is not a single number but a *robustness*
+result: SHIFT retains most of PIF's benefit across history-storage budgets
+(Figures 6–7), core counts (Figure 8 — amortization is what makes the shared
+history attractive) and consolidated-server mixes (Figure 9).  This package
+parameterizes :func:`repro.experiments.run_experiment` over those axes:
+
+========= ===================================================== ============
+axis       sweep values                                          paper figure
+========= ===================================================== ============
+storage    paper-scale history entries for PIF and SHIFT         Figs. 6–7
+cores      number of traced cores on the CMP                     Fig. 8
+consolid.  workload mixes sharing the CMP, split SHIFT history   Fig. 9
+seeds      workload-generation RNG seeds (robustness check)      —
+========= ===================================================== ============
+
+Every sweep point is a full engine-comparison report; the sweep report is
+JSON-round-trippable and byte-identical across serial and parallel
+execution.  ``python -m repro.sweeps --axis storage --check`` exits non-zero
+if any point violates the paper ordering (SHIFT within tolerance of PIF,
+both above next-line).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..experiments import (
+    ExperimentReport,
+    run_consolidated_experiment,
+    run_experiment,
+)
+
+#: Paper-scale history budgets swept by ``--axis storage`` (the paper's
+#: Figure 6 spans 8K–64K records; 4K stresses the low end).
+DEFAULT_STORAGE_POINTS: Tuple[int, ...] = (4096, 8192, 16384, 32768, 65536)
+
+#: Core counts swept by ``--axis cores`` (the paper's CMP has 16).
+DEFAULT_CORE_POINTS: Tuple[int, ...] = (2, 4, 8, 16)
+
+#: Seeds swept by ``--axis seeds``.
+DEFAULT_SEED_POINTS: Tuple[int, ...] = (0, 1, 2)
+
+#: Consolidation mixes swept by ``--axis consolidation``: three 2-way mixes
+#: pairing OLTP/DSS/media with web workloads, and one 4-way mix (Fig. 9
+#: evaluates 2-way and 4-way consolidation).
+DEFAULT_CONSOLIDATION_MIXES: Tuple[Tuple[str, ...], ...] = (
+    ("oltp_db2", "web_frontend"),
+    ("oltp_oracle", "web_search"),
+    ("dss_qry2", "media_streaming"),
+    ("oltp_db2", "web_frontend", "dss_qry17", "web_search"),
+)
+
+SWEEP_AXES: Tuple[str, ...] = ("storage", "cores", "consolidation", "seeds")
+
+
+@dataclass
+class SweepPoint:
+    """One point of a sweep: an axis value and its full experiment report."""
+
+    axis: str
+    value: object
+    label: str
+    report: ExperimentReport
+
+    def shift_to_pif_ratios(self) -> List[float]:
+        """Per-row SHIFT/PIF coverage ratios (the paper's retention metric)."""
+        ratios: List[float] = []
+        for row in self.report.rows:
+            pif = row.outcomes.get("pif")
+            shift = row.outcomes.get("shift")
+            if pif is None or shift is None or pif.coverage <= 0:
+                continue
+            ratios.append(shift.coverage / pif.coverage)
+        return ratios
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "axis": self.axis,
+            "value": self.value,
+            "label": self.label,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
+        return cls(
+            axis=str(data["axis"]),
+            value=data["value"],
+            label=str(data["label"]),
+            report=ExperimentReport.from_dict(dict(data["report"])),
+        )
+
+
+@dataclass
+class SweepReport:
+    """All points of one sensitivity sweep."""
+
+    axis: str
+    points: List[SweepPoint] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def check(self, tolerance: float = 0.10) -> List[str]:
+        """Paper-ordering violations across every sweep point."""
+        violations: List[str] = []
+        if not self.points:
+            return [f"{self.axis}: sweep has no points"]
+        for point in self.points:
+            for violation in point.report.check_paper_ordering(tolerance):
+                violations.append(f"[{self.axis}={point.label}] {violation}")
+        return violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "axis": self.axis,
+            "params": dict(self.params),
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepReport":
+        return cls(
+            axis=str(data["axis"]),
+            points=[SweepPoint.from_dict(dict(p)) for p in list(data["points"])],
+            params=dict(data.get("params", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "SweepReport":
+        return cls.from_json(Path(path).read_text())
+
+
+def _int_values(values: Optional[Sequence[int]], default: Tuple[int, ...]) -> List[int]:
+    if values is None:
+        return list(default)
+    out = [int(v) for v in values]
+    if not out:
+        raise ConfigurationError("a sweep needs at least one value")
+    return out
+
+
+def run_sweep(
+    axis: str,
+    values: Optional[Sequence] = None,
+    system: str = "scaled",
+    scale: int = 16,
+    workloads: Optional[Sequence[str]] = None,
+    num_cores: Optional[int] = None,
+    blocks_per_core: Optional[int] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    trace_cache: "str | Path | None" = None,
+) -> SweepReport:
+    """Run one sensitivity sweep and return its report.
+
+    ``values`` overrides the axis' default points: history entries for
+    ``storage``, core counts for ``cores``, seeds for ``seeds``, and
+    sequences of workload names for ``consolidation``.
+    """
+    if axis not in SWEEP_AXES:
+        raise ConfigurationError(f"unknown sweep axis {axis!r}; known: {', '.join(SWEEP_AXES)}")
+    common = dict(
+        system=system,
+        scale=scale,
+        blocks_per_core=blocks_per_core,
+        workers=workers,
+        trace_cache=trace_cache,
+    )
+    points: List[SweepPoint] = []
+    if axis == "storage":
+        for entries in _int_values(values, DEFAULT_STORAGE_POINTS):
+            report = run_experiment(
+                workloads=workloads,
+                num_cores=num_cores,
+                seed=seed,
+                history_entries=entries,
+                **common,
+            )
+            points.append(SweepPoint(axis, entries, str(entries), report))
+    elif axis == "cores":
+        for cores in _int_values(values, DEFAULT_CORE_POINTS):
+            report = run_experiment(
+                workloads=workloads, num_cores=cores, seed=seed, **common
+            )
+            points.append(SweepPoint(axis, cores, str(cores), report))
+    elif axis == "seeds":
+        for sweep_seed in _int_values(values, DEFAULT_SEED_POINTS):
+            report = run_experiment(
+                workloads=workloads, num_cores=num_cores, seed=sweep_seed, **common
+            )
+            points.append(SweepPoint(axis, sweep_seed, str(sweep_seed), report))
+    else:  # consolidation
+        if workloads is not None:
+            raise ConfigurationError(
+                "--workloads does not apply to the consolidation axis; "
+                "pass mixes via --values instead"
+            )
+        mixes = (
+            [tuple(mix) for mix in values]
+            if values is not None
+            else list(DEFAULT_CONSOLIDATION_MIXES)
+        )
+        if not mixes:
+            raise ConfigurationError("a sweep needs at least one value")
+        for mix in mixes:
+            report = run_consolidated_experiment(
+                [mix], num_cores=num_cores, seed=seed, **common
+            )
+            points.append(SweepPoint(axis, list(mix), "+".join(mix), report))
+    params: Dict[str, object] = {
+        "axis": axis,
+        "system": system,
+        "scale": scale,
+        "workloads": list(workloads) if workloads else None,
+        "num_cores": num_cores,
+        "blocks_per_core": blocks_per_core,
+        "seed": seed,
+    }
+    return SweepReport(axis=axis, points=points, params=params)
+
+
+def format_sweep(report: SweepReport) -> str:
+    """Compact per-point summary: SHIFT's retention of PIF's coverage."""
+    lines = [f"sweep axis: {report.axis}"]
+    header = f"{'point':<40} {'rows':>4} {'shift/pif min':>13} {'shift/pif mean':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in report.points:
+        ratios = point.shift_to_pif_ratios()
+        if ratios:
+            low, mean = min(ratios), sum(ratios) / len(ratios)
+            lines.append(
+                f"{point.label:<40} {len(point.report.rows):>4} {low:>13.3f} {mean:>14.3f}"
+            )
+        else:
+            lines.append(f"{point.label:<40} {len(point.report.rows):>4} {'-':>13} {'-':>14}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SWEEP_AXES",
+    "DEFAULT_STORAGE_POINTS",
+    "DEFAULT_CORE_POINTS",
+    "DEFAULT_SEED_POINTS",
+    "DEFAULT_CONSOLIDATION_MIXES",
+    "SweepPoint",
+    "SweepReport",
+    "run_sweep",
+    "format_sweep",
+]

@@ -1,0 +1,105 @@
+"""Command-line driver: ``python -m repro.sweeps --axis storage --check``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..errors import ReproError
+from ..workloads.suite import WORKLOAD_NAMES
+from . import SWEEP_AXES, format_sweep, run_sweep
+
+
+def _parse_values(axis: str, raw: "str | None"):
+    if raw is None:
+        return None
+    if axis == "consolidation":
+        # Semicolon-separated mixes of comma-separated workloads:
+        #   "oltp_db2,web_frontend;dss_qry2,web_search"
+        return [tuple(part.split(",")) for part in raw.split(";") if part]
+    return [int(part) for part in raw.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps",
+        description="Sensitivity sweeps over history storage, core count, "
+        "consolidation mixes and seeds (paper Figs. 6-9).",
+    )
+    parser.add_argument("--axis", choices=SWEEP_AXES, required=True, help="sweep axis")
+    parser.add_argument(
+        "--values",
+        default=None,
+        help="override sweep points: comma-separated integers, or for "
+        "--axis consolidation semicolon-separated workload mixes "
+        "(e.g. 'oltp_db2,web_frontend;dss_qry2,web_search')",
+    )
+    parser.add_argument("--system", choices=("scaled", "paper"), default="scaled")
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help=f"comma-separated subset of: {', '.join(WORKLOAD_NAMES)}",
+    )
+    parser.add_argument("--num-cores", type=int, default=None, help="cores to trace")
+    parser.add_argument("--blocks", type=int, default=None, help="trace length per core")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None, help="parallel worker processes")
+    parser.add_argument("--trace-cache", default=None, metavar="DIR")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the sweep as JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative coverage tolerance for SHIFT vs PIF (default: 0.10)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any sweep point violates the paper ordering",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    try:
+        report = run_sweep(
+            axis=args.axis,
+            values=_parse_values(args.axis, args.values),
+            system=args.system,
+            scale=args.scale,
+            workloads=args.workloads.split(",") if args.workloads else None,
+            num_cores=args.num_cores,
+            blocks_per_core=args.blocks,
+            seed=args.seed,
+            workers=args.workers,
+            trace_cache=args.trace_cache,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_sweep(report))
+    print(f"({time.time() - started:.1f}s)")
+    if args.json:
+        report.save(args.json)
+        print(f"sweep written to {args.json}")
+    violations = report.check(tolerance=args.tolerance)
+    if violations:
+        print("paper-ordering violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        if args.check:
+            return 1
+    elif args.check:
+        print(
+            f"paper ordering holds at every {args.axis} point: SHIFT within "
+            f"{args.tolerance:.0%} of PIF, both above next-line"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

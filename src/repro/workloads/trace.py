@@ -10,7 +10,7 @@ virtualized SHIFT history buffers in non-conflicting regions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..errors import TraceError
 from .address_space import WorkloadAddressLayout
@@ -25,6 +25,10 @@ class CoreTrace:
     instructions_per_block: int = 10
     workload: str = ""
     requests: int = 0
+    #: Lazily computed distinct-block set; never part of equality or repr.
+    _footprint: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.core_id < 0:
@@ -42,9 +46,15 @@ class CoreTrace:
     def num_instructions(self) -> int:
         return self.num_accesses * self.instructions_per_block
 
-    def footprint(self) -> Set[int]:
-        """The set of distinct blocks touched by this trace."""
-        return set(self.addresses)
+    def footprint(self) -> FrozenSet[int]:
+        """The distinct blocks touched by this trace (computed once)."""
+        if self._footprint is None:
+            self._footprint = frozenset(self.addresses)
+        return self._footprint
+
+    @property
+    def distinct_blocks(self) -> int:
+        return len(self.footprint())
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.addresses)
@@ -62,6 +72,12 @@ class TraceSet:
     seed: int = 0
     name: str = ""
     workload_of_core: Dict[int, str] = field(default_factory=dict)
+    _footprint: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _by_core: Optional[Dict[int, CoreTrace]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.traces:
@@ -83,17 +99,24 @@ class TraceSet:
         return sum(t.num_accesses for t in self.traces)
 
     def for_core(self, core_id: int) -> CoreTrace:
-        for trace in self.traces:
-            if trace.core_id == core_id:
-                return trace
-        raise TraceError(f"no trace for core {core_id}")
+        if self._by_core is None:
+            self._by_core = {t.core_id: t for t in self.traces}
+        try:
+            return self._by_core[core_id]
+        except KeyError:
+            raise TraceError(f"no trace for core {core_id}") from None
 
-    def footprint(self) -> Set[int]:
-        """Distinct blocks touched across all cores."""
-        blocks: Set[int] = set()
-        for trace in self.traces:
-            blocks.update(trace.addresses)
-        return blocks
+    def footprint(self) -> FrozenSet[int]:
+        """Distinct blocks touched across all cores (computed once)."""
+        if self._footprint is None:
+            self._footprint = frozenset().union(
+                *(trace.footprint() for trace in self.traces)
+            )
+        return self._footprint
+
+    @property
+    def distinct_blocks(self) -> int:
+        return len(self.footprint())
 
     def __iter__(self) -> Iterator[CoreTrace]:
         return iter(self.traces)

@@ -1,0 +1,125 @@
+"""On-disk cache of generated trace sets.
+
+Trace generation is deterministic in (workload spec, system, seed, core
+count, trace length), so its output can be cached and shared: within one
+parallel experiment the baseline and the three prefetch engines all simulate
+the same trace set, and across experiment invocations (sweeps, benches,
+repeated ``--check`` runs) the same cells recur constantly.  Worker processes
+of the parallel executor coordinate purely through this cache — the first
+process to need a trace generates and publishes it, later ones load it.
+
+Entries are pickle files named by a SHA-256 key over every input that can
+influence generation, including the full workload-spec field dict, so editing
+a workload definition naturally invalidates its entries.  Writes go through a
+temporary file and :func:`os.replace`, which makes concurrent writers safe on
+POSIX: both produce identical bytes and the rename is atomic.  A cache entry
+is an optimization only — any read problem falls back to regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from ..config import SystemConfig
+from .suite import WorkloadSpec
+from .trace import TraceSet
+
+#: Bump when the pickle payload or generation semantics change.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory (under the working directory, like ``.pytest_cache``).
+DEFAULT_CACHE_DIR = ".trace_cache"
+
+
+def trace_cache_key(
+    specs: "tuple[WorkloadSpec, ...] | WorkloadSpec",
+    system: SystemConfig,
+    seed: int,
+    num_cores: Optional[int],
+    blocks_per_core: Optional[int],
+) -> str:
+    """Deterministic content key for one generated trace set.
+
+    ``specs`` is a single spec, or the tuple of specs of a consolidation mix
+    (order matters: it fixes the core-group assignment).
+    """
+    if isinstance(specs, WorkloadSpec):
+        specs = (specs,)
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "specs": [asdict(spec) for spec in specs],
+        "system": asdict(system),
+        "seed": seed,
+        "num_cores": num_cores,
+        "blocks_per_core": blocks_per_core,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()
+
+
+class TraceCache:
+    """A directory of pickled :class:`~repro.workloads.trace.TraceSet`\\ s."""
+
+    def __init__(self, directory: "str | Path" = DEFAULT_CACHE_DIR) -> None:
+        self._directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        return self._directory / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[TraceSet]:
+        """Return the cached trace set for ``key``, or None."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                trace_set = pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(trace_set, TraceSet):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace_set
+
+    def store(self, key: str, trace_set: TraceSet) -> None:
+        """Atomically publish ``trace_set`` under ``key``; best-effort."""
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f"{key}.", suffix=".tmp", dir=self._directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(trace_set, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full filesystem must not fail the experiment.
+            pass
+
+
+__all__ = [
+    "TraceCache",
+    "trace_cache_key",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+]

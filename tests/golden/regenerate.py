@@ -1,0 +1,33 @@
+"""Regenerate the golden report after a *deliberate* semantic change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the refreshed ``report_small.json`` together with the change that
+motivated it (the diff of the JSON is the reviewable record of the drift).
+"""
+
+from pathlib import Path
+
+from repro.experiments import run_experiment
+
+#: Must match tests/test_golden.py::GOLDEN_CONFIG exactly.
+GOLDEN_CONFIG = dict(
+    system="scaled",
+    workloads=["oltp_db2", "dss_qry2"],
+    num_cores=4,
+    blocks_per_core=2_500,
+    seed=42,
+)
+
+
+def main() -> None:
+    report = run_experiment(**GOLDEN_CONFIG)
+    path = Path(__file__).parent / "report_small.json"
+    report.save(path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""The bench harness and report-table formatting."""
+
+import json
+
+from repro.bench import bench_experiment, bench_hotloop, write_bench_json
+from repro.experiments import format_report, run_experiment
+
+
+class TestBenchHarness:
+    def test_quick_experiment_bench_matches_and_records(self, tmp_path):
+        result = bench_experiment(quick=True)
+        assert result["results_match"] is True
+        assert result["paper_ordering_holds"] is True
+        assert result["speedup"] > 1.0
+        path = write_bench_json(result, tmp_path)
+        assert path.name == "BENCH_experiment.json"
+        payload = json.loads(path.read_text())
+        assert payload["baseline"]["name"] == "pr1-serial-legacy"
+        assert "created" in payload and "python" in payload
+
+    def test_quick_hotloop_bench_covers_all_engines(self, tmp_path):
+        result = bench_hotloop(quick=True)
+        assert set(result["engines"]) == {"none", "next_line", "pif", "shift"}
+        for data in result["engines"].values():
+            assert data["legacy_seconds"] > 0
+            assert data["optimized_seconds"] > 0
+        path = write_bench_json(result, tmp_path)
+        assert path.name == "BENCH_hotloop.json"
+
+
+class TestReportAlignment:
+    def test_every_column_is_aligned_under_its_header(self):
+        report = run_experiment(
+            workloads=["oltp_db2"], num_cores=2, blocks_per_core=1_500, seed=0
+        )
+        lines = format_report(report).splitlines()
+        header, rows = lines[1], lines[3:]
+        assert all(len(row) == len(header) for row in rows)
+        # Each value cell must end exactly where its header column ends
+        # (right-aligned 13-character cells under 13-character headers).
+        for title in ("next_line cov", "next_line spd", "pif cov", "shift spd"):
+            end = header.index(title) + len(title)
+            for row in rows:
+                cell = row[end - 13 : end]
+                assert cell.strip(), f"empty cell under {title!r}"
+                assert row[end - 14] == " ", f"cell under {title!r} overflows its column"
+                assert not cell.startswith("  " * 6), f"cell under {title!r} misaligned"
+
+    def test_base_mpki_column_alignment(self):
+        report = run_experiment(
+            workloads=["oltp_db2"], num_cores=2, blocks_per_core=1_500, seed=0
+        )
+        lines = format_report(report).splitlines()
+        header, first_row = lines[1], lines[3]
+        end = header.index("base MPKI") + len("base MPKI")
+        assert first_row[end - 1].isdigit()

@@ -1,0 +1,148 @@
+"""Property-style tests for the array-backed cache structures.
+
+Random operation sequences are replayed against trivial reference models
+(an ordered-list LRU per set, a FIFO dict for the buffer); the structures
+must agree with the model at every step.  These tests pin the invariants the
+inlined hot loops in :mod:`repro.sim._fastpath` rely on.
+"""
+
+import random
+
+from repro.config import CacheConfig
+from repro.sim import PrefetchBuffer, SetAssociativeCache
+
+
+class LRUModel:
+    """Reference model: per-set MRU-ordered lists, no cleverness."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, block: int) -> bool:
+        lines = self.sets[block % self.num_sets]
+        if block in lines:
+            lines.remove(block)
+            lines.insert(0, block)
+            return True
+        return False
+
+    def insert(self, block: int):
+        lines = self.sets[block % self.num_sets]
+        if block in lines:
+            lines.remove(block)
+            lines.insert(0, block)
+            return None
+        lines.insert(0, block)
+        if len(lines) > self.associativity:
+            return lines.pop()
+        return None
+
+
+class TestSetAssociativeCacheProperties:
+    CONFIGS = [
+        CacheConfig(size_bytes=2 * 64, associativity=2),
+        CacheConfig(size_bytes=16 * 64, associativity=2),
+        CacheConfig(size_bytes=64 * 64, associativity=4),
+        CacheConfig(size_bytes=128 * 64, associativity=16),
+    ]
+
+    def test_random_ops_match_reference_model(self):
+        for config in self.CONFIGS:
+            rng = random.Random(config.num_sets * 1000 + config.associativity)
+            cache = SetAssociativeCache(config)
+            model = LRUModel(config.num_sets, config.associativity)
+            blocks = range(config.num_blocks * 3)
+            for _ in range(5_000):
+                block = rng.choice(blocks)
+                op = rng.random()
+                if op < 0.5:
+                    assert cache.access(block) == model.access(block)
+                elif op < 0.9:
+                    assert cache.insert(block) == model.insert(block)
+                else:
+                    lines = model.sets[block % model.num_sets]
+                    assert cache.contains(block) == (block in lines)
+
+    def test_capacity_never_exceeded(self):
+        config = CacheConfig(size_bytes=8 * 64, associativity=2)
+        cache = SetAssociativeCache(config)
+        rng = random.Random(7)
+        for _ in range(2_000):
+            cache.insert(rng.randrange(0, 500))
+            assert cache.resident_blocks() <= config.num_blocks
+            for lines in cache._sets:
+                assert len(lines) <= config.associativity
+
+    def test_hit_after_insert(self):
+        config = CacheConfig(size_bytes=32 * 64, associativity=2)
+        cache = SetAssociativeCache(config)
+        rng = random.Random(13)
+        for _ in range(1_000):
+            block = rng.randrange(0, 10_000)
+            cache.insert(block)
+            assert cache.contains(block)
+            assert cache.access(block)
+
+    def test_lru_eviction_is_oldest_way(self):
+        # One set, four ways: fill, touch in a known order, overflow.
+        cache = SetAssociativeCache(CacheConfig(size_bytes=4 * 64, associativity=4))
+        for block in (0, 1, 2, 3):
+            cache.insert(block)
+        cache.access(0)  # LRU order now (MRU) 0, 3, 2, 1 (LRU)
+        evicted = cache.insert(4)
+        assert evicted == 1
+        assert cache.contains(0) and cache.contains(3) and cache.contains(2)
+        assert not cache.contains(1)
+
+
+class TestPrefetchBufferProperties:
+    def test_random_ops_match_fifo_model(self):
+        rng = random.Random(29)
+        capacity = 16
+        buffer = PrefetchBuffer(capacity)
+        model: dict = {}
+        model_evicted = 0
+        for step in range(5_000):
+            block = rng.randrange(0, 64)
+            if rng.random() < 0.6:
+                inserted = buffer.insert(block, step)
+                if block in model:
+                    assert not inserted
+                else:
+                    assert inserted
+                    model[block] = step
+                    if len(model) > capacity:
+                        oldest = next(iter(model))
+                        del model[oldest]
+                        model_evicted += 1
+            else:
+                assert buffer.consume(block) == model.pop(block, None)
+            assert len(buffer) == len(model)
+            assert len(buffer) <= capacity
+            assert buffer.evicted_unused == model_evicted
+
+    def test_late_hit_accounting_preserves_issue_timestamp(self):
+        buffer = PrefetchBuffer(8)
+        assert buffer.insert(100, issued_at=7)
+        # A re-prefetch of an in-flight block must not refresh the timestamp:
+        # the original request is already on its way.
+        assert not buffer.insert(100, issued_at=25)
+        assert buffer.consume(100) == 7
+        assert buffer.consume(100) is None
+
+    def test_evicted_unused_counts_only_fifo_evictions(self):
+        capacity = 4
+        buffer = PrefetchBuffer(capacity)
+        for block in range(capacity):
+            buffer.insert(block, block)
+        assert buffer.evicted_unused == 0
+        buffer.consume(0)  # consumed, not wasted
+        buffer.insert(10, 10)  # refills the freed slot: no eviction
+        assert buffer.evicted_unused == 0
+        extra = 3
+        for block in range(20, 20 + extra):  # three overflows
+            buffer.insert(block, block)
+        assert buffer.evicted_unused == extra
+        assert len(buffer) == capacity

@@ -1,0 +1,105 @@
+"""Cell execution and the on-disk trace cache."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cells import (
+    CellSpec,
+    execute_cells,
+    resolve_workers,
+    run_cell,
+    trace_key_for,
+    trace_set_for,
+)
+from repro.workloads.trace_cache import TraceCache, trace_cache_key
+from repro.config import scaled_system
+from repro.workloads.generator import generate_traces
+from repro.workloads.suite import scaled_workload, workload_by_name
+
+CELL = CellSpec(workload="oltp_db2", engine="shift", num_cores=4, blocks_per_core=1_500)
+
+
+class TestCellSpec:
+    def test_cells_are_hashable_and_picklable(self):
+        assert pickle.loads(pickle.dumps(CELL)) == CELL
+        assert len({CELL, replace(CELL, engine="pif")}) == 2
+
+    def test_trace_key_ignores_engine(self):
+        assert trace_key_for(CELL) == trace_key_for(replace(CELL, engine="pif"))
+        assert trace_key_for(CELL) != trace_key_for(replace(CELL, seed=99))
+
+    def test_run_cell_produces_simulation_result(self):
+        result = run_cell(CELL)
+        assert result.prefetcher_name == "shift"
+        assert result.total_accesses == 4 * 1_500
+
+
+class TestExecuteCells:
+    CELLS = [
+        CellSpec(workload="oltp_db2", engine=engine, num_cores=2, blocks_per_core=1_000)
+        for engine in ("none", "next_line")
+    ]
+
+    def test_serial_and_parallel_agree(self):
+        serial = execute_cells(self.CELLS, workers=0)
+        parallel = execute_cells(self.CELLS, workers=2)
+        for cell in self.CELLS:
+            assert serial[cell].total_misses == parallel[cell].total_misses
+
+    def test_env_var_worker_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 0
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(None) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+
+class TestTraceCache:
+    def _key_and_trace(self):
+        system = scaled_system()
+        spec = scaled_workload(workload_by_name("oltp_db2"), system.scale)
+        key = trace_cache_key(spec, system, 0, 2, 1_000)
+        trace = generate_traces(spec, system, seed=0, num_cores=2, blocks_per_core=1_000)
+        return key, trace
+
+    def test_store_then_load_round_trips(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key, trace = self._key_and_trace()
+        assert cache.load(key) is None
+        cache.store(key, trace)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert [t.addresses for t in loaded.traces] == [t.addresses for t in trace.traces]
+
+    def test_corrupt_entry_falls_back_to_none(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key, trace = self._key_and_trace()
+        cache.store(key, trace)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+
+    def test_key_depends_on_generation_inputs(self):
+        system = scaled_system()
+        spec = scaled_workload(workload_by_name("oltp_db2"), system.scale)
+        base = trace_cache_key(spec, system, 0, 2, 1_000)
+        assert trace_cache_key(spec, system, 1, 2, 1_000) != base
+        assert trace_cache_key(spec, system, 0, 4, 1_000) != base
+        assert trace_cache_key(spec, system, 0, 2, 2_000) != base
+        other = scaled_workload(workload_by_name("web_search"), system.scale)
+        assert trace_cache_key(other, system, 0, 2, 1_000) != base
+
+    def test_trace_set_for_uses_disk_cache(self, tmp_path):
+        cell = CellSpec(workload="dss_qry2", engine="none", num_cores=2, blocks_per_core=800)
+        import repro.experiments.cells as cells_module
+
+        first = trace_set_for(cell, str(tmp_path))
+        cells_module._TRACE_MEMO.clear()  # force the disk path
+        second = trace_set_for(cell, str(tmp_path))
+        assert [t.addresses for t in first.traces] == [t.addresses for t in second.traces]
+        assert list(tmp_path.glob("*.pkl"))

@@ -1,0 +1,84 @@
+"""Determinism of the cell-based executor.
+
+The contract that makes parallel execution safe to ship: for a fixed seed
+the serialized ``ExperimentReport`` is *byte-identical* whether cells run in
+the calling process, in a two-worker pool, or in a three-worker pool, with
+or without the on-disk trace cache.
+"""
+
+import pytest
+
+from repro.experiments import run_consolidated_experiment, run_experiment
+from repro.sweeps import run_sweep
+
+#: Tiny but non-trivial: two workloads, four cores, real engine mix.
+FAST = dict(workloads=["oltp_db2", "web_search"], num_cores=4, blocks_per_core=2_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serial_json():
+    return run_experiment(**FAST).to_json()
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_json_is_byte_identical(self, serial_json, workers):
+        parallel = run_experiment(workers=workers, **FAST)
+        assert parallel.to_json() == serial_json
+
+    def test_workers_one_uses_serial_path(self, serial_json):
+        assert run_experiment(workers=1, **FAST).to_json() == serial_json
+
+    def test_trace_cache_does_not_change_results(self, serial_json, tmp_path):
+        cold = run_experiment(trace_cache=tmp_path, **FAST)
+        warm = run_experiment(trace_cache=tmp_path, **FAST)
+        assert cold.to_json() == serial_json
+        assert warm.to_json() == serial_json
+
+    def test_parallel_with_shared_trace_cache(self, serial_json, tmp_path):
+        report = run_experiment(workers=2, trace_cache=tmp_path, **FAST)
+        assert report.to_json() == serial_json
+
+    def test_different_seed_changes_results(self, serial_json):
+        other = dict(FAST, seed=FAST["seed"] + 1)
+        assert run_experiment(**other).to_json() != serial_json
+
+
+class TestConsolidatedDeterminism:
+    MIXES = [("oltp_db2", "web_frontend")]
+
+    def test_serial_vs_parallel(self):
+        kwargs = dict(num_cores=4, blocks_per_core=2_000, seed=5)
+        serial = run_consolidated_experiment(self.MIXES, **kwargs)
+        parallel = run_consolidated_experiment(self.MIXES, workers=2, **kwargs)
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestSweepDeterminism:
+    def test_storage_sweep_serial_vs_parallel(self):
+        kwargs = dict(
+            values=[8192, 32768],
+            workloads=["oltp_db2"],
+            num_cores=4,
+            blocks_per_core=2_000,
+            seed=3,
+        )
+        serial = run_sweep("storage", **kwargs)
+        parallel = run_sweep("storage", workers=2, **kwargs)
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip_is_lossless(self, serial_json):
+        from repro.experiments import ExperimentReport
+
+        report = ExperimentReport.from_json(serial_json)
+        assert report.to_json() == serial_json
+
+    def test_save_and_load(self, tmp_path):
+        report = run_experiment(**FAST)
+        path = tmp_path / "report.json"
+        report.save(path)
+        from repro.experiments import ExperimentReport
+
+        assert ExperimentReport.load(path).to_json() == report.to_json()

@@ -1,0 +1,99 @@
+"""The optimized fast paths must exactly reproduce the frozen PR-1 engine.
+
+Every specialized loop in :mod:`repro.sim._fastpath` (and the per-core
+reordering it performs for state-private engines) is pinned here against
+:mod:`repro.sim._legacy` — full per-core counter equality, not tolerances.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.config import scaled_pif_config, scaled_shift_config, scaled_system
+from repro.sim import SimulationEngine, simulate
+from repro.sim._legacy import legacy_simulate
+from repro.sim.prefetchers import ConsolidatedSHIFTPrefetcher, SHIFTPrefetcher
+from repro.workloads.generator import WorkloadTraceGenerator, generate_traces
+from repro.workloads.suite import scaled_workload, workload_by_name
+from repro.workloads.trace import TraceSet
+
+SYSTEM = scaled_system()
+
+ENGINE_KWARGS = {
+    "none": {},
+    "next_line": {},
+    "pif": {"pif_config": scaled_pif_config(16)},
+    "shift": {"shift_config": scaled_shift_config(16)},
+}
+
+
+def core_dicts(result):
+    return [asdict(core) for core in result.cores]
+
+
+@pytest.fixture(scope="module")
+def trace_set():
+    spec = scaled_workload(workload_by_name("oltp_db2"), 16)
+    return generate_traces(spec, SYSTEM, seed=2, num_cores=4, blocks_per_core=3_000)
+
+
+@pytest.fixture(scope="module")
+def uneven_trace_set():
+    """Different per-core trace lengths exercise the lane drop-out paths."""
+    spec = scaled_workload(workload_by_name("web_frontend"), 16)
+    generator = WorkloadTraceGenerator(spec, SYSTEM, seed=9)
+    traces = [
+        generator.core_trace(0, 3_000),
+        generator.core_trace(1, 1_500),
+        generator.core_trace(2, 2_200),
+    ]
+    return TraceSet(traces=traces, seed=9, name="uneven")
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("engine", list(ENGINE_KWARGS))
+    def test_counters_match_legacy(self, trace_set, engine):
+        optimized = simulate(trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
+        legacy = legacy_simulate(trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
+        assert core_dicts(optimized) == core_dicts(legacy)
+
+    @pytest.mark.parametrize("engine", list(ENGINE_KWARGS))
+    def test_counters_match_legacy_uneven_lengths(self, uneven_trace_set, engine):
+        optimized = simulate(uneven_trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
+        legacy = legacy_simulate(uneven_trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
+        assert core_dicts(optimized) == core_dicts(legacy)
+
+    def test_shift_subclass_falls_back_to_generic_loop(self, trace_set):
+        """Subclassed engines bypass the exact-type fast paths but must agree."""
+
+        class TracingSHIFT(SHIFTPrefetcher):
+            pass
+
+        generic = SimulationEngine(
+            SYSTEM, TracingSHIFT(SYSTEM.num_cores, scaled_shift_config(16))
+        ).run(trace_set)
+        fast = simulate(trace_set, SYSTEM, "shift", shift_config=scaled_shift_config(16))
+        assert core_dicts(generic) == core_dicts(fast)
+
+    def test_consolidated_shift_matches_generic_loop(self, trace_set):
+        class GenericConsolidated(ConsolidatedSHIFTPrefetcher):
+            pass
+
+        groups = [(0, 1), (2, 3)]
+        config = scaled_shift_config(16)
+        fast = SimulationEngine(SYSTEM, ConsolidatedSHIFTPrefetcher(groups, config)).run(
+            trace_set
+        )
+        generic = SimulationEngine(SYSTEM, GenericConsolidated(groups, config)).run(trace_set)
+        assert core_dicts(fast) == core_dicts(generic)
+
+    def test_consolidated_shift_only_trains_within_groups(self, trace_set):
+        """A core outside every group gets no prefetches (passive lane)."""
+        config = scaled_shift_config(16)
+        result = SimulationEngine(
+            SYSTEM, ConsolidatedSHIFTPrefetcher([(0, 1, 2)], config)
+        ).run(trace_set)
+        outside = result.by_core()[3]
+        assert outside.prefetches_issued == 0
+        assert outside.prefetch_hits == 0
+        assert outside.demand_hits + outside.misses == outside.accesses

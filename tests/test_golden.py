@@ -1,0 +1,76 @@
+"""Golden-report regression test.
+
+``tests/golden/report_small.json`` is a checked-in experiment report.  Any
+hot-loop refactor, executor change or prefetcher "cleanup" that shifts a
+coverage or speedup value by more than 1e-9 fails this test — results may
+only change through a deliberate regeneration of the golden file:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "report_small.json"
+
+#: Must match tests/golden/regenerate.py exactly.
+GOLDEN_CONFIG = dict(
+    system="scaled",
+    workloads=["oltp_db2", "dss_qry2"],
+    num_cores=4,
+    blocks_per_core=2_500,
+    seed=42,
+)
+
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def fresh_report():
+    return run_experiment(**GOLDEN_CONFIG).to_dict()
+
+
+@pytest.fixture(scope="module")
+def golden_report():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenReport:
+    def test_structure_matches(self, fresh_report, golden_report):
+        assert fresh_report["system_name"] == golden_report["system_name"]
+        assert fresh_report["params"] == golden_report["params"]
+        fresh_rows = {row["workload"]: row for row in fresh_report["rows"]}
+        golden_rows = {row["workload"]: row for row in golden_report["rows"]}
+        assert fresh_rows.keys() == golden_rows.keys()
+        for workload, golden_row in golden_rows.items():
+            assert fresh_rows[workload]["outcomes"].keys() == golden_row["outcomes"].keys()
+
+    def test_values_within_tolerance(self, fresh_report, golden_report):
+        fresh_rows = {row["workload"]: row for row in fresh_report["rows"]}
+        for golden_row in golden_report["rows"]:
+            fresh_row = fresh_rows[golden_row["workload"]]
+            for key in ("baseline_mpki", "baseline_miss_ratio"):
+                assert fresh_row[key] == pytest.approx(golden_row[key], abs=TOLERANCE), (
+                    f"{golden_row['workload']}: {key} drifted"
+                )
+            for engine, golden_outcome in golden_row["outcomes"].items():
+                fresh_outcome = fresh_row["outcomes"][engine]
+                for key in ("coverage", "speedup", "mpki", "prefetch_accuracy"):
+                    assert fresh_outcome[key] == pytest.approx(
+                        golden_outcome[key], abs=TOLERANCE
+                    ), f"{golden_row['workload']}/{engine}: {key} drifted"
+
+    def test_parallel_run_matches_golden(self, golden_report):
+        parallel = run_experiment(workers=2, **GOLDEN_CONFIG).to_dict()
+        fresh_rows = {row["workload"]: row for row in parallel["rows"]}
+        for golden_row in golden_report["rows"]:
+            fresh_row = fresh_rows[golden_row["workload"]]
+            for engine, golden_outcome in golden_row["outcomes"].items():
+                for key in ("coverage", "speedup"):
+                    assert fresh_row["outcomes"][engine][key] == pytest.approx(
+                        golden_outcome[key], abs=TOLERANCE
+                    )

@@ -1,0 +1,124 @@
+"""The sweeps package: axes, JSON round-trip, CLI and checks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweeps import SweepReport, format_sweep, run_sweep
+from repro.sweeps.__main__ import build_parser, main
+
+#: Tiny settings so each sweep point costs ~0.1s.
+FAST = dict(workloads=["oltp_db2"], num_cores=4, blocks_per_core=2_000, seed=0)
+
+
+class TestRunSweep:
+    def test_storage_axis_points_and_ordering(self):
+        report = run_sweep("storage", values=[8192, 32768], **FAST)
+        assert report.axis == "storage"
+        assert [point.value for point in report.points] == [8192, 32768]
+        assert report.check(tolerance=0.10) == []
+        for point in report.points:
+            assert point.report.params["history_entries"] == point.value
+
+    def test_cores_axis_traces_requested_cores(self):
+        report = run_sweep(
+            "cores", values=[2, 4], workloads=["oltp_db2"], blocks_per_core=2_000
+        )
+        assert [point.value for point in report.points] == [2, 4]
+        assert report.check() == []
+
+    def test_seeds_axis(self):
+        report = run_sweep("seeds", values=[0, 1], workloads=["oltp_db2"],
+                           num_cores=4, blocks_per_core=2_000)
+        assert [point.value for point in report.points] == [0, 1]
+        jsons = {point.report.to_json() for point in report.points}
+        assert len(jsons) == 2  # different seeds, different traces
+
+    def test_consolidation_axis(self):
+        report = run_sweep(
+            "consolidation",
+            values=[("oltp_db2", "web_frontend")],
+            num_cores=4,
+            blocks_per_core=2_000,
+        )
+        assert report.points[0].label == "oltp_db2+web_frontend"
+        row = report.points[0].report.rows[0]
+        assert set(row.outcomes) == {"next_line", "pif", "shift"}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("voltage")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("storage", values=[], **FAST)
+
+    def test_shift_to_pif_ratios(self):
+        report = run_sweep("storage", values=[32768], **FAST)
+        ratios = report.points[0].shift_to_pif_ratios()
+        assert len(ratios) == 1
+        assert ratios[0] > 0.8
+
+    def test_json_round_trip(self):
+        report = run_sweep("storage", values=[32768], **FAST)
+        restored = SweepReport.from_json(report.to_json())
+        assert restored.to_json() == report.to_json()
+
+    def test_save_and_load(self, tmp_path):
+        report = run_sweep("cores", values=[2], workloads=["oltp_db2"], blocks_per_core=2_000)
+        path = tmp_path / "sweep.json"
+        report.save(path)
+        assert SweepReport.load(path).to_json() == report.to_json()
+
+    def test_format_sweep_lists_every_point(self):
+        report = run_sweep("storage", values=[8192, 32768], **FAST)
+        table = format_sweep(report)
+        assert "8192" in table and "32768" in table
+        assert "shift/pif" in table
+
+
+class TestSweepCli:
+    def test_parser_requires_axis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_passes_on_small_storage_sweep(self, capsys):
+        code = main(
+            [
+                "--axis", "storage", "--values", "8192,32768",
+                "--workloads", "oltp_db2", "--num-cores", "4",
+                "--blocks", "2000", "--check",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "paper ordering holds" in captured.out
+
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "--axis", "cores", "--values", "2",
+                "--workloads", "oltp_db2", "--blocks", "2000",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        assert SweepReport.load(out).axis == "cores"
+
+    def test_consolidation_values_parsing(self, capsys):
+        code = main(
+            [
+                "--axis", "consolidation",
+                "--values", "oltp_db2,web_frontend",
+                "--num-cores", "4", "--blocks", "2000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "oltp_db2+web_frontend" in captured.out
+
+    def test_unknown_workload_is_a_clean_error(self, capsys):
+        code = main(["--axis", "storage", "--values", "8192", "--workloads", "nope"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
