@@ -87,6 +87,32 @@ def _legacy_experiment(
     return report
 
 
+def _llc_independent_rows(report: ExperimentReport) -> List[Dict[str, object]]:
+    """Rows projected onto the metrics the frozen PR-1 engine can produce.
+
+    The PR-1 reference predates the shared-LLC model, so speedups (which now
+    charge classified memory misses and real history reads) and the LLC /
+    storage fields are not comparable; the miss-level counters — coverage,
+    MPKI, accuracy — must still match exactly.
+    """
+    return [
+        {
+            "workload": row.workload,
+            "baseline_mpki": row.baseline_mpki,
+            "baseline_miss_ratio": row.baseline_miss_ratio,
+            "outcomes": {
+                name: {
+                    "coverage": outcome.coverage,
+                    "mpki": outcome.mpki,
+                    "prefetch_accuracy": outcome.prefetch_accuracy,
+                }
+                for name, outcome in row.outcomes.items()
+            },
+        }
+        for row in report.rows
+    ]
+
+
 def bench_experiment(
     quick: bool = False,
     seed: int = 0,
@@ -139,8 +165,8 @@ def bench_experiment(
             cached_seconds.append(time.perf_counter() - started)
 
     assert legacy_report is not None and optimized_report is not None
-    legacy_rows = [row.to_dict() for row in legacy_report.rows]
-    optimized_rows = [row.to_dict() for row in optimized_report.rows]
+    legacy_rows = _llc_independent_rows(legacy_report)
+    optimized_rows = _llc_independent_rows(optimized_report)
     best_legacy = min(legacy_seconds)
     best_optimized = min(optimized_seconds)
     result: Dict[str, object] = {
@@ -157,7 +183,11 @@ def bench_experiment(
         "baseline": {"name": "pr1-serial-legacy", "seconds": round(best_legacy, 4)},
         "optimized": {"name": "cell-driver-fastpath", "seconds": round(best_optimized, 4)},
         "speedup": round(best_legacy / best_optimized, 3),
+        # Miss-level counters (coverage/MPKI/accuracy) must be identical;
+        # the optimized driver additionally models the shared LLC, which
+        # the frozen PR-1 engine cannot, so timing fields are not compared.
         "results_match": legacy_rows == optimized_rows,
+        "compared_fields": ["coverage", "mpki", "prefetch_accuracy"],
         "paper_ordering_holds": not optimized_report.check_paper_ordering(),
     }
     if cached_seconds:
@@ -214,7 +244,7 @@ def bench_hotloop(
     return {
         "benchmark": "hotloop",
         "description": "per-engine simulation of one workload trace: frozen PR-1 "
-        "loops vs repro.sim._fastpath",
+        "loops vs repro.sim._fastpath (which additionally models the shared LLC)",
         "config": {
             "workload": workload,
             "seed": seed,

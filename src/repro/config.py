@@ -17,8 +17,9 @@ Two entry points are provided:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from .errors import ConfigurationError
 
@@ -33,6 +34,15 @@ BLOCK_ADDRESS_BITS = PHYSICAL_ADDRESS_BITS - 6
 
 #: Core clock frequency used for all core types (Hz).
 CORE_FREQUENCY_HZ = 2_000_000_000
+
+#: The uncore of Table I is a 16-tile die (4x4 mesh).  Configurations with
+#: fewer cores are partially populated dies — their NoC keeps the 16-tile
+#: geometry — while more cores require a larger mesh.
+MIN_MESH_TILES = 16
+
+#: Smallest LLC slice :func:`scaled_system` will build (a slice below this
+#: has too few sets to be a meaningful cache at any associativity).
+SCALED_LLC_FLOOR_BYTES = 4 * 1024
 
 
 def _require(condition: bool, message: str) -> None:
@@ -109,6 +119,30 @@ class InterconnectConfig:
     @property
     def num_tiles(self) -> int:
         return self.rows * self.columns
+
+    @classmethod
+    def for_cores(cls, num_cores: int, cycles_per_hop: int = 3) -> "InterconnectConfig":
+        """The most-square mesh covering ``num_cores`` tiles.
+
+        The mesh never shrinks below the 16-tile die of Table I
+        (:data:`MIN_MESH_TILES`): fewer cores populate the same uncore.
+        Beyond that it prefers an exact near-square factorization
+        (32 -> 4x8); for awkward counts (primes) it falls back to the
+        smallest near-square mesh with at least ``num_cores`` tiles
+        (17 -> 4x5).
+        """
+        _require(num_cores >= 1, "system needs at least one core")
+        tiles = max(num_cores, MIN_MESH_TILES)
+        base = math.isqrt(tiles)
+        if base * base < tiles:
+            base += 1
+        for columns in range(base, 2 * base + 1):
+            if tiles % columns == 0:
+                return cls(
+                    rows=tiles // columns, columns=columns, cycles_per_hop=cycles_per_hop
+                )
+        rows = (tiles + base - 1) // base
+        return cls(rows=rows, columns=base, cycles_per_hop=cycles_per_hop)
 
     def average_hop_count(self) -> float:
         """Average Manhattan distance between two uniformly random tiles."""
@@ -292,15 +326,27 @@ class SHIFTConfig:
     #: Number of spatial-region records packed into a 64-byte LLC block
     #: (Section 4.2: 41-bit records, 12 per block).
     records_per_llc_block: int = 12
-    #: History-buffer pointer width stored per LLC tag (15 bits for 32K entries).
-    index_pointer_bits: int = 15
+    #: History-buffer pointer width stored per LLC tag.  ``None`` (the
+    #: default) derives it from ``history_entries`` (15 bits for the paper's
+    #: 32K records, 11 bits for a 2048-entry scaled history); an explicit
+    #: width is validated against :meth:`required_pointer_bits`.
+    index_pointer_bits: Optional[int] = None
     #: When True the history read latency is ignored (ZeroLat-SHIFT).
     zero_latency_history: bool = False
 
     def __post_init__(self) -> None:
         _require(self.history_entries >= 1, "history buffer needs at least one entry")
         _require(self.records_per_llc_block >= 1, "need at least one record per LLC block")
-        _require(self.index_pointer_bits >= 1, "index pointer must have at least one bit")
+        required = self.required_pointer_bits()
+        if self.index_pointer_bits is None:
+            object.__setattr__(self, "index_pointer_bits", required)
+        else:
+            _require(self.index_pointer_bits >= 1, "index pointer must have at least one bit")
+            _require(
+                self.index_pointer_bits >= required,
+                f"index_pointer_bits={self.index_pointer_bits} cannot address "
+                f"{self.history_entries} history entries (need {required} bits)",
+            )
 
     @property
     def history_llc_blocks(self) -> int:
@@ -312,6 +358,20 @@ class SHIFTConfig:
     @property
     def history_llc_bytes(self) -> int:
         return self.history_llc_blocks * BLOCK_SIZE
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of LLC-tag index pointers across the whole history."""
+        return (self.history_entries * self.index_pointer_bits + 7) // 8
+
+    @property
+    def storage_bytes_total(self) -> int:
+        """Aggregate SHIFT storage: virtualized history blocks + tag pointers.
+
+        Shared by all cores; divide by the core count for the per-core cost
+        the paper's ~14x reduction claim compares against PIF.
+        """
+        return self.history_llc_bytes + self.index_bytes
 
     def required_pointer_bits(self) -> int:
         """Pointer width actually needed to address every history entry."""
@@ -372,33 +432,66 @@ class SystemConfig:
         return self.llc_demand_latency_cycles() + self.memory.access_latency_cycles
 
 
-def paper_system(core: CoreConfig = LEAN_OOO, num_cores: int = 16) -> SystemConfig:
-    """The 16-core CMP configuration of Table I, at full paper scale."""
-    return SystemConfig(num_cores=num_cores, core=core)
+def paper_system(
+    core: CoreConfig = LEAN_OOO,
+    num_cores: int = 16,
+    llc_bytes_per_core: Optional[int] = None,
+) -> SystemConfig:
+    """The CMP configuration of Table I (16 cores by default), at paper scale.
+
+    The mesh is auto-sized to cover ``num_cores`` tiles and the LLC scales
+    one slice per core; ``llc_bytes_per_core`` overrides the 512 KB slice
+    (the LLC sensitivity axis of Section 5.4).
+    """
+    if llc_bytes_per_core is None:
+        llc_bytes_per_core = 512 * 1024
+    _require(llc_bytes_per_core > 0, "LLC slice size must be positive")
+    return SystemConfig(
+        num_cores=num_cores,
+        core=core,
+        llc=LLCConfig(size_bytes_per_core=llc_bytes_per_core),
+        interconnect=InterconnectConfig.for_cores(num_cores),
+    )
 
 
 def scaled_system(
     core: CoreConfig = LEAN_OOO,
     num_cores: int = 16,
     scale: int = 16,
+    llc_bytes_per_core: Optional[int] = None,
 ) -> SystemConfig:
     """A shrunken configuration that preserves the paper's capacity ratios.
 
     The L1 caches and LLC slices shrink by ``scale``; associativities and
-    latencies are unchanged.  Workload working sets and prefetcher history
+    latencies are unchanged, and the mesh is auto-sized to ``num_cores``
+    tiles.  ``llc_bytes_per_core`` overrides the *paper-scale* LLC slice
+    size before shrinking.  Workload working sets and prefetcher history
     sizes should be shrunk by the same factor (see
     :func:`repro.workloads.suite.scaled_workload` and
     :func:`scaled_shift_config` / :func:`scaled_pif_config`).
     """
     _require(scale >= 1, "scale factor must be >= 1")
+    explicit_llc = llc_bytes_per_core is not None
+    if llc_bytes_per_core is None:
+        llc_bytes_per_core = 512 * 1024
+    _require(llc_bytes_per_core > 0, "LLC slice size must be positive")
     l1_bytes = max(1024, (32 * 1024) // scale)
-    llc_bytes = max(16 * 1024, (512 * 1024) // scale)
+    llc_bytes = max(SCALED_LLC_FLOOR_BYTES, llc_bytes_per_core // scale)
+    # An explicit override that the floor would round up must error, not
+    # silently produce a system identical to a larger sweep point.
+    _require(
+        not explicit_llc or llc_bytes_per_core // scale >= SCALED_LLC_FLOOR_BYTES,
+        f"LLC slice of {llc_bytes_per_core} bytes shrinks below the "
+        f"{SCALED_LLC_FLOOR_BYTES}-byte scaled floor at scale {scale}; "
+        f"use at least {SCALED_LLC_FLOOR_BYTES * scale} bytes per core",
+    )
     return SystemConfig(
         num_cores=num_cores,
         core=core,
         l1i=CacheConfig(size_bytes=l1_bytes, associativity=2),
         l1d=CacheConfig(size_bytes=l1_bytes, associativity=2),
         llc=LLCConfig(size_bytes_per_core=llc_bytes),
+        interconnect=InterconnectConfig.for_cores(num_cores),
         scale=scale,
     )
 

@@ -38,13 +38,22 @@ DEFAULT_ENGINES: Tuple[str, ...] = ("none", "next_line", "pif", "shift")
 
 @dataclass
 class EngineOutcome:
-    """Coverage and speedup of one engine on one workload."""
+    """Coverage and speedup of one engine on one workload.
+
+    ``storage_bytes_per_core`` is the engine's dedicated history storage
+    (the denominator of the paper's ~14x SHIFT-vs-PIF reduction claim);
+    ``llc_hit_ratio`` is the shared LLC's hit ratio over all instruction
+    accesses, the Section 5.4 metric history virtualization must not
+    perturb.
+    """
 
     engine: str
     coverage: float
     speedup: float
     mpki: float
     prefetch_accuracy: float
+    storage_bytes_per_core: int = 0
+    llc_hit_ratio: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -53,6 +62,8 @@ class EngineOutcome:
             "speedup": self.speedup,
             "mpki": self.mpki,
             "prefetch_accuracy": self.prefetch_accuracy,
+            "storage_bytes_per_core": self.storage_bytes_per_core,
+            "llc_hit_ratio": self.llc_hit_ratio,
         }
 
     @classmethod
@@ -63,6 +74,8 @@ class EngineOutcome:
             speedup=float(data["speedup"]),
             mpki=float(data["mpki"]),
             prefetch_accuracy=float(data["prefetch_accuracy"]),
+            storage_bytes_per_core=int(data.get("storage_bytes_per_core", 0)),
+            llc_hit_ratio=float(data.get("llc_hit_ratio", 0.0)),
         )
 
 
@@ -73,6 +86,7 @@ class ExperimentRow:
     workload: str
     baseline_mpki: float
     baseline_miss_ratio: float
+    baseline_llc_hit_ratio: float = 0.0
     outcomes: Dict[str, EngineOutcome] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -80,6 +94,7 @@ class ExperimentRow:
             "workload": self.workload,
             "baseline_mpki": self.baseline_mpki,
             "baseline_miss_ratio": self.baseline_miss_ratio,
+            "baseline_llc_hit_ratio": self.baseline_llc_hit_ratio,
             "outcomes": {name: outcome.to_dict() for name, outcome in self.outcomes.items()},
         }
 
@@ -93,6 +108,7 @@ class ExperimentRow:
             workload=str(data["workload"]),
             baseline_mpki=float(data["baseline_mpki"]),
             baseline_miss_ratio=float(data["baseline_miss_ratio"]),
+            baseline_llc_hit_ratio=float(data.get("baseline_llc_hit_ratio", 0.0)),
             outcomes=outcomes,
         )
 
@@ -190,6 +206,8 @@ def _outcome_for(
         speedup=weighted_speedup(result, baseline, sys_config),
         mpki=result.mpki,
         prefetch_accuracy=useful / issued if issued else 0.0,
+        storage_bytes_per_core=result.storage_bytes_per_core,
+        llc_hit_ratio=result.llc_hit_ratio,
     )
 
 
@@ -210,6 +228,7 @@ def _merge_report(
             workload=label,
             baseline_mpki=baseline.mpki,
             baseline_miss_ratio=baseline.miss_ratio,
+            baseline_llc_hit_ratio=baseline.llc_hit_ratio,
         )
         for engine in engines:
             if engine == "none":
@@ -229,6 +248,7 @@ def run_experiment(
     blocks_per_core: Optional[int] = None,
     seed: int = 0,
     history_entries: Optional[int] = None,
+    llc_kb_per_core: Optional[int] = None,
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
 ) -> ExperimentReport:
@@ -236,14 +256,20 @@ def run_experiment(
 
     ``system`` selects the paper-scale or shrunken configuration; workload
     footprints and prefetcher histories are shrunk by the same ``scale`` so
-    the capacity ratios of the paper are preserved.  ``history_entries``
-    overrides the paper-scale history budget of PIF and SHIFT (the storage
-    sensitivity axis).  ``workers > 1`` fans the (workload, engine) cells
-    out over a process pool; ``trace_cache`` names a directory where
-    generated traces are shared between engines, processes and runs.  The
-    report is bit-identical for every (workers, trace_cache) combination.
+    the capacity ratios of the paper are preserved.  ``num_cores`` sizes
+    the whole CMP (cores, LLC slices, mesh), not just the traced subset.
+    ``history_entries`` overrides the paper-scale history budget of PIF and
+    SHIFT (the storage sensitivity axis); ``llc_kb_per_core`` the
+    paper-scale LLC slice size (the Section 5.4 axis).  ``workers > 1``
+    fans the (workload, engine) cells out over a process pool;
+    ``trace_cache`` names a directory where generated traces are shared
+    between engines, processes and runs.  The report is bit-identical for
+    every (workers, trace_cache) combination.
     """
-    sys_config = system_for(system, scale)
+    if llc_kb_per_core is not None and llc_kb_per_core < 1:
+        raise ConfigurationError("llc_kb_per_core must be at least 1 KB per core")
+    llc_bytes = llc_kb_per_core * 1024 if llc_kb_per_core is not None else None
+    sys_config = system_for(system, scale, num_cores, llc_bytes)
     names = list(workloads) if workloads else list(WORKLOAD_NAMES)
     if "none" not in engines:
         raise ConfigurationError("the engine list must include the 'none' baseline")
@@ -261,6 +287,7 @@ def run_experiment(
                 num_cores=num_cores,
                 blocks_per_core=blocks_per_core,
                 history_entries=history_entries,
+                llc_bytes_per_core=llc_bytes,
             )
             cells[(name, engine)] = cell
             order.append(cell)
@@ -279,6 +306,7 @@ def run_experiment(
         "num_cores": num_cores,
         "blocks_per_core": blocks_per_core,
         "history_entries": history_entries,
+        "llc_kb_per_core": llc_kb_per_core,
     }
     return _merge_report(system, sys_config, names, engines, cells, results, params)
 
@@ -292,6 +320,7 @@ def run_consolidated_experiment(
     blocks_per_core: Optional[int] = None,
     seed: int = 0,
     history_entries: Optional[int] = None,
+    llc_kb_per_core: Optional[int] = None,
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
 ) -> ExperimentReport:
@@ -303,7 +332,10 @@ def run_consolidated_experiment(
     :class:`repro.sim.prefetchers.ConsolidatedSHIFTPrefetcher`); PIF and
     next-line are per-core and unaffected by consolidation.
     """
-    sys_config = system_for(system, scale)
+    if llc_kb_per_core is not None and llc_kb_per_core < 1:
+        raise ConfigurationError("llc_kb_per_core must be at least 1 KB per core")
+    llc_bytes = llc_kb_per_core * 1024 if llc_kb_per_core is not None else None
+    sys_config = system_for(system, scale, num_cores, llc_bytes)
     if "none" not in engines:
         raise ConfigurationError("the engine list must include the 'none' baseline")
     labels: List[str] = []
@@ -326,6 +358,7 @@ def run_consolidated_experiment(
                 blocks_per_core=blocks_per_core,
                 history_entries=history_entries,
                 consolidation=mix_names,
+                llc_bytes_per_core=llc_bytes,
             )
             cells[(label, engine)] = cell
             order.append(cell)
@@ -344,12 +377,27 @@ def run_consolidated_experiment(
         "num_cores": num_cores,
         "blocks_per_core": blocks_per_core,
         "history_entries": history_entries,
+        "llc_kb_per_core": llc_kb_per_core,
     }
     return _merge_report(system, sys_config, labels, engines, cells, results, params)
 
 
+def _format_bytes(num_bytes: int) -> str:
+    if num_bytes >= 1024 * 1024:
+        return f"{num_bytes / (1024 * 1024):.1f}MB"
+    if num_bytes >= 1024:
+        return f"{num_bytes / 1024:.1f}KB"
+    return f"{num_bytes}B"
+
+
 def format_report(report: ExperimentReport) -> str:
-    """Render a report as a fixed-width comparison table."""
+    """Render a report as a fixed-width comparison table.
+
+    Per-engine storage cost is constant across rows (it is a property of
+    the configuration, not the workload), so it is summarized in a footer
+    below the table rather than repeated per row — the workload rows keep
+    their fixed 13-character column grid.
+    """
     # Column order: the engines actually present in the report, default
     # engines first, so subset runs and future engines both render.
     present: List[str] = []
@@ -375,6 +423,23 @@ def format_report(report: ExperimentReport) -> str:
                 # speedup's trailing 'x' is part of its 13 characters).
                 line += f" {outcome.coverage:>13.1%} {outcome.speedup:>12.2f}x"
         lines.append(line)
+    storage: Dict[str, int] = {}
+    for row in report.rows:
+        for engine in engines:
+            outcome = row.outcomes.get(engine)
+            if outcome is not None and engine not in storage:
+                storage[engine] = outcome.storage_bytes_per_core
+    if any(storage.values()):
+        cells_text = "  ".join(
+            f"{engine}={_format_bytes(storage[engine])}" for engine in engines if engine in storage
+        )
+        lines.append(f"storage/core: {cells_text}")
+        pif_bytes = storage.get("pif", 0)
+        shift_bytes = storage.get("shift", 0)
+        if pif_bytes and shift_bytes:
+            lines.append(
+                f"SHIFT storage reduction vs PIF: {pif_bytes / shift_bytes:.1f}x"
+            )
     return "\n".join(lines)
 
 

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale PIF/SHIFT history budget override (default: 32768)",
     )
     parser.add_argument(
+        "--llc-kb",
+        type=int,
+        default=None,
+        help="paper-scale LLC KB per core override (default: 512)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -88,6 +94,7 @@ def main(argv=None) -> int:
             blocks_per_core=args.blocks,
             seed=args.seed,
             history_entries=args.history_entries,
+            llc_kb_per_core=args.llc_kb,
             workers=args.workers,
             trace_cache=args.trace_cache,
         )

@@ -70,15 +70,39 @@ class CellSpec:
     history_entries: Optional[int] = None
     #: Workload names of a consolidation mix; empty tuple = single workload.
     consolidation: Tuple[str, ...] = ()
+    #: Paper-scale LLC slice size override (None = 512 KB per core).
+    llc_bytes_per_core: Optional[int] = None
 
 
-def system_for(name: str, scale: int) -> SystemConfig:
-    """Resolve a system configuration by name."""
+def system_for(
+    name: str,
+    scale: int,
+    num_cores: Optional[int] = None,
+    llc_bytes_per_core: Optional[int] = None,
+) -> SystemConfig:
+    """Resolve a system configuration by name.
+
+    ``num_cores`` sizes the whole CMP — core count, one LLC slice per core,
+    and a mesh auto-sized to cover the tiles — not just the traced subset:
+    a 4-core sweep point gets a 4-slice LLC (on the 16-tile die of Table I)
+    and a 32-core point a 32-slice LLC on a 4x8 mesh, instead of both
+    simulating against the default 16-core system (which made >16-core
+    sweeps crash outright).  ``llc_bytes_per_core`` overrides the
+    paper-scale LLC slice (the Section 5.4 sensitivity axis).
+    """
+    cores = num_cores if num_cores is not None else 16
     if name == "paper":
-        return paper_system()
+        return paper_system(num_cores=cores, llc_bytes_per_core=llc_bytes_per_core)
     if name == "scaled":
-        return scaled_system(scale=scale)
+        return scaled_system(
+            num_cores=cores, scale=scale, llc_bytes_per_core=llc_bytes_per_core
+        )
     raise ConfigurationError(f"unknown system {name!r}; known: paper, scaled")
+
+
+def system_for_cell(cell: CellSpec) -> SystemConfig:
+    """The system configuration a cell simulates against."""
+    return system_for(cell.system, cell.scale, cell.num_cores, cell.llc_bytes_per_core)
 
 
 def _specs_for(cell: CellSpec, sys_config: SystemConfig):
@@ -119,7 +143,7 @@ def _generate(cell: CellSpec, sys_config: SystemConfig) -> TraceSet:
 
 def trace_key_for(cell: CellSpec) -> str:
     """The on-disk cache key of ``cell``'s trace set (engine-independent)."""
-    sys_config = system_for(cell.system, cell.scale)
+    sys_config = system_for_cell(cell)
     return trace_cache_key(
         _specs_for(cell, sys_config),
         sys_config,
@@ -131,7 +155,7 @@ def trace_key_for(cell: CellSpec) -> str:
 
 def trace_set_for(cell: CellSpec, trace_cache_dir: Optional[str] = None) -> TraceSet:
     """The trace set of ``cell``, via the in-process memo and disk cache."""
-    sys_config = system_for(cell.system, cell.scale)
+    sys_config = system_for_cell(cell)
     key = trace_key_for(cell)
     trace_set = _TRACE_MEMO.get(key)
     if trace_set is not None:
@@ -171,7 +195,7 @@ def _engine_kwargs(cell: CellSpec, sys_config: SystemConfig) -> Dict:
 
 def run_cell(cell: CellSpec, trace_cache_dir: Optional[str] = None) -> SimulationResult:
     """Simulate one cell from scratch (fresh caches, buffers, prefetcher)."""
-    sys_config = system_for(cell.system, cell.scale)
+    sys_config = system_for_cell(cell)
     trace_set = trace_set_for(cell, trace_cache_dir)
     return simulate(trace_set, sys_config, cell.engine, **_engine_kwargs(cell, sys_config))
 
@@ -230,6 +254,7 @@ __all__ = [
     "resolve_workers",
     "run_cell",
     "system_for",
+    "system_for_cell",
     "trace_key_for",
     "trace_set_for",
     "WORKERS_ENV_VAR",

@@ -15,6 +15,7 @@ The subsystem has three layers:
 
 from .cache import PrefetchBuffer, SetAssociativeCache
 from .engine import CoreResult, SimulationEngine, SimulationResult, simulate
+from .llc import LLCStats, SharedLLC
 from .prefetchers import (
     ConsolidatedSHIFTPrefetcher,
     HistoryBuffer,
@@ -27,11 +28,13 @@ from .prefetchers import (
     SpatialCompactor,
     make_prefetcher,
 )
-from .timing import CoreTiming, core_timing, weighted_speedup
+from .timing import CoreTiming, aggregate_ipc, core_timing, system_timing, weighted_speedup
 
 __all__ = [
     "SetAssociativeCache",
     "PrefetchBuffer",
+    "SharedLLC",
+    "LLCStats",
     "Prefetcher",
     "NullPrefetcher",
     "NextLinePrefetcher",
@@ -48,5 +51,7 @@ __all__ = [
     "simulate",
     "CoreTiming",
     "core_timing",
+    "system_timing",
+    "aggregate_ipc",
     "weighted_speedup",
 ]

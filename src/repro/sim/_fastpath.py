@@ -19,10 +19,24 @@ locals:
   Each lane runs as a generator, keeping its hot state in locals across
   steps, and the driver resumes them round-robin.
 
+Shared-LLC modelling and per-core loops: the LLC's LRU state is shared by
+all cores, so the order in which L1 misses and prefetch fetches reach it is
+semantically load-bearing even for engines whose *prefetcher* state is
+per-core.  The per-core loops therefore record their LLC requests as
+``(step, address, is_demand)`` events and :func:`_replay_llc` replays the
+merged streams in exactly the round-robin order of the generic loop
+(step-major, lanes in core-id order, a miss's demand classification before
+the prefetches it triggers).  L1 and prefetcher behaviour is unaffected —
+the LLC sits below the L1s and only classifies misses — so the per-core
+reordering argument for those structures still holds.  The SHIFT lanes
+already run round-robin and access the LLC inline.
+
 Every loop is behaviour-pinned to the public-API implementations: the
 regression tests assert exact equality of all per-core counters against both
-the generic loop and the frozen PR-1 reference in :mod:`repro.sim._legacy`.
-Any semantic change here that is not mirrored there is a bug.
+the generic loop and the frozen PR-1 reference in :mod:`repro.sim._legacy`
+(which predates the LLC model, so the two classification counters are pinned
+against the generic loop instead).  Any semantic change here that is not
+mirrored there is a bug.
 """
 
 from __future__ import annotations
@@ -40,19 +54,96 @@ from .prefetchers import (
 
 if TYPE_CHECKING:  # engine imports this module; avoid the runtime cycle.
     from .engine import CoreResult
+    from .llc import SharedLLC
 
 #: One simulation lane: (core id, trace addresses, cache, buffer, stats).
 Lane = Tuple[int, List[int], SetAssociativeCache, PrefetchBuffer, "CoreResult"]
 
+#: One recorded LLC request of a per-core loop: (step, address, is_demand).
+LLCEvent = Tuple[int, int, bool]
 
-def run_baseline(lanes: List[Lane]) -> None:
+
+def _replay_llc(
+    llc: "SharedLLC | None",
+    per_lane: List[Tuple["CoreResult", List[LLCEvent]]],
+) -> None:
+    """Replay recorded LLC requests in the generic loop's round-robin order.
+
+    ``per_lane`` pairs each lane's stats with its LLC events in lane
+    (core-id) order; each lane's events are already step-sorted, so the
+    merged order — step-major, lane order within a step, recording order
+    within a (lane, step) — is exactly the order the generic round-robin
+    loop would have issued them in.  The LLC operations are inlined on the
+    underscore attributes (``SharedLLC.access_demand`` / ``access_prefetch``
+    semantics), like every other fast path.
+    """
+    if llc is None:
+        return
+    sets = llc._sets
+    num_sets = llc._num_sets
+    avail = llc._avail
+    banks = llc._banks
+    bank_accesses = llc.bank_accesses
+    pinned = llc._pinned
+    demand_hits = demand_misses = prefetch_hits = prefetch_misses = 0
+    lanes = [(stats, events, len(events)) for stats, events in per_lane]
+    pointers = [0] * len(lanes)
+    remaining = sum(end for _, _, end in lanes)
+    step = 0
+    while remaining:
+        for lane_index, (stats, events, end) in enumerate(lanes):
+            pos = pointers[lane_index]
+            while pos < end and events[pos][0] == step:
+                _, address, is_demand = events[pos]
+                pos += 1
+                remaining -= 1
+                set_index = address % num_sets
+                bank_accesses[set_index % banks] += 1
+                lines = sets[set_index]
+                if address in pinned:
+                    hit = True
+                elif address in lines:
+                    if lines[0] != address:
+                        lines.remove(address)
+                        lines.insert(0, address)
+                    hit = True
+                else:
+                    lines.insert(0, address)
+                    if len(lines) > avail[set_index]:
+                        lines.pop()
+                    hit = False
+                if is_demand:
+                    if hit:
+                        demand_hits += 1
+                        stats.llc_hits += 1
+                    else:
+                        demand_misses += 1
+                        stats.memory_misses += 1
+                elif hit:
+                    prefetch_hits += 1
+                else:
+                    prefetch_misses += 1
+            pointers[lane_index] = pos
+        step += 1
+    llc.demand_hits += demand_hits
+    llc.demand_misses += demand_misses
+    llc.prefetch_hits += prefetch_hits
+    llc.prefetch_misses += prefetch_misses
+
+
+def run_baseline(lanes: List[Lane], llc: "SharedLLC | None" = None) -> None:
     """No-prefetch loop: every access is a demand hit or a demand miss."""
+    per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for _core_id, addresses, cache, _buffer, stats in lanes:
         sets = cache._sets
         num_sets = cache._num_sets
         assoc = cache._associativity
+        events: List[LLCEvent] = []
+        record = events.append
+        track_llc = llc is not None
         demand_hits = 0
         misses = 0
+        step = 0
         for address in addresses:
             lines = sets[address % num_sets]
             if address in lines:
@@ -62,15 +153,26 @@ def run_baseline(lanes: List[Lane]) -> None:
                 demand_hits += 1
             else:
                 misses += 1
+                if track_llc:
+                    record((step, address, True))
                 lines.insert(0, address)
                 if len(lines) > assoc:
                     lines.pop()
+            step += 1
         stats.demand_hits = demand_hits
         stats.misses = misses
+        per_lane.append((stats, events))
+    _replay_llc(llc, per_lane)
 
 
-def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> None:
+def run_next_line(
+    lanes: List[Lane],
+    inflight: Dict[int, int],
+    degree: int,
+    llc: "SharedLLC | None" = None,
+) -> None:
     """Tagged next-N-line loop: issue on every miss and prefetch-buffer hit."""
+    per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
         sets = cache._sets
         num_sets = cache._num_sets
@@ -81,6 +183,9 @@ def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> N
         bpopitem = bmap.popitem
         blen = len(bmap)
         inflight_c = inflight[core_id]
+        events: List[LLCEvent] = []
+        record = events.append
+        track_llc = llc is not None
         demand_hits = prefetch_hits = late_hits = misses = 0
         issued = evicted = 0
         step = 0
@@ -101,6 +206,8 @@ def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> N
                         late_hits += 1
                 else:
                     misses += 1
+                    if track_llc:
+                        record((step, address, True))
                 lines.insert(0, address)
                 if len(lines) > assoc:
                     lines.pop()
@@ -109,6 +216,8 @@ def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> N
                         bmap[block] = step
                         blen += 1
                         issued += 1
+                        if track_llc:
+                            record((step, block, False))
                         if blen > bcap:
                             bpopitem(last=False)
                             blen -= 1
@@ -120,10 +229,15 @@ def run_next_line(lanes: List[Lane], inflight: Dict[int, int], degree: int) -> N
         stats.misses = misses
         stats.prefetches_issued = issued
         buffer.evicted_unused = evicted
+        per_lane.append((stats, events))
+    _replay_llc(llc, per_lane)
 
 
 def run_stream_per_core(
-    lanes: List[Lane], inflight: Dict[int, int], prefetcher: PIFPrefetcher
+    lanes: List[Lane],
+    inflight: Dict[int, int],
+    prefetcher: PIFPrefetcher,
+    llc: "SharedLLC | None" = None,
 ) -> None:
     """PIF loop: private compactor/history/index/streams, fully inlined."""
     config = prefetcher._config
@@ -132,6 +246,7 @@ def run_stream_per_core(
     num_streams = config.stream_buffer.num_streams
     lookahead = config.stream_buffer.lookahead_records
     outstanding_cap = config.stream_buffer.capacity_records * region_blocks
+    per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
         engine = prefetcher._streams[core_id]
         history = prefetcher._histories[core_id]
@@ -161,6 +276,9 @@ def run_stream_per_core(
         inflight_c = inflight[core_id]
         trigger = compactor._trigger
         mask = compactor._mask
+        events: List[LLCEvent] = []
+        record_llc = events.append
+        track_llc = llc is not None
         demand_hits = prefetch_hits = late_hits = misses = 0
         issued = evicted = 0
         step = 0
@@ -208,6 +326,8 @@ def run_stream_per_core(
                 else:
                     misses += 1
                     is_miss = True
+                    if track_llc:
+                        record_llc((step, address, True))
                 lines.insert(0, address)
                 if len(lines) > assoc:
                     lines.pop()
@@ -254,6 +374,8 @@ def run_stream_per_core(
                                 bmap[block] = step
                                 blen += 1
                                 issued += 1
+                                if track_llc:
+                                    record_llc((step, block, False))
                                 if blen > bcap:
                                     bpopitem(last=False)
                                     blen -= 1
@@ -282,6 +404,8 @@ def run_stream_per_core(
                                         bmap[rec_trigger] = step
                                         blen += 1
                                         issued += 1
+                                        if track_llc:
+                                            record_llc((step, rec_trigger, False))
                                         if blen > bcap:
                                             bpopitem(last=False)
                                             blen -= 1
@@ -298,6 +422,8 @@ def run_stream_per_core(
                                             bmap[block] = step
                                             blen += 1
                                             issued += 1
+                                            if track_llc:
+                                                record_llc((step, block, False))
                                             if blen > bcap:
                                                 bpopitem(last=False)
                                                 blen -= 1
@@ -315,17 +441,24 @@ def run_stream_per_core(
         compactor._mask = mask
         engine.dispatches = dispatches
         engine.record_reads = record_reads
+        per_lane.append((stats, events))
+    _replay_llc(llc, per_lane)
 
 
 def _passive_lane(
-    addresses: List[int], cache: SetAssociativeCache, stats: "CoreResult"
+    addresses: List[int],
+    cache: SetAssociativeCache,
+    stats: "CoreResult",
+    llc: "SharedLLC | None" = None,
 ) -> Iterator[None]:
     """A lane with no stream engine (a core outside every SHIFT group)."""
     sets = cache._sets
     num_sets = cache._num_sets
     assoc = cache._associativity
+    llc_demand = llc.access_demand if llc is not None else None
     demand_hits = 0
     misses = 0
+    llc_hits = memory_misses = 0
     for address in addresses:
         lines = sets[address % num_sets]
         if address in lines:
@@ -335,12 +468,19 @@ def _passive_lane(
             demand_hits += 1
         else:
             misses += 1
+            if llc_demand is not None:
+                if llc_demand(address):
+                    llc_hits += 1
+                else:
+                    memory_misses += 1
             lines.insert(0, address)
             if len(lines) > assoc:
                 lines.pop()
         yield
     stats.demand_hits = demand_hits
     stats.misses = misses
+    stats.llc_hits = llc_hits
+    stats.memory_misses = memory_misses
 
 
 def _stream_lane(
@@ -359,14 +499,19 @@ def _stream_lane(
     outstanding_cap: int,
     records_per_llc_block: int,
     inflight_c: int,
+    llc: "SharedLLC | None" = None,
 ) -> Iterator[None]:
     """One core of a shared-history engine, resumed round-robin per access.
 
     The generator keeps all per-core state in frame locals; only the shared
     history/index state is read through the owning objects, because the
-    trainer lane mutates it between this lane's resumptions.
+    trainer lane mutates it between this lane's resumptions.  The shared
+    LLC is accessed inline — these lanes already run in the round-robin
+    order that defines the LLC's semantics.
     """
     offsets_table = _expand_offsets(region_blocks)
+    llc_demand = llc.access_demand if llc is not None else None
+    llc_prefetch = llc.access_prefetch if llc is not None else None
     records = history._records
     hist_cap = history._capacity
     index_entries = index._entries
@@ -391,6 +536,7 @@ def _stream_lane(
     trigger = compactor._trigger if is_trainer else None
     mask = compactor._mask if is_trainer else 0
     demand_hits = prefetch_hits = late_hits = misses = 0
+    llc_hits = memory_misses = 0
     issued = evicted = 0
     step = 0
     for address in addresses:
@@ -436,6 +582,11 @@ def _stream_lane(
             else:
                 misses += 1
                 is_miss = True
+                if llc_demand is not None:
+                    if llc_demand(address):
+                        llc_hits += 1
+                    else:
+                        memory_misses += 1
             lines.insert(0, address)
             if len(lines) > assoc:
                 lines.pop()
@@ -489,6 +640,8 @@ def _stream_lane(
                                 bmap[block] = step
                                 blen += 1
                                 issued += 1
+                                if llc_prefetch is not None:
+                                    llc_prefetch(block)
                                 if blen > bcap:
                                     bpopitem(last=False)
                                     blen -= 1
@@ -523,6 +676,8 @@ def _stream_lane(
                                     bmap[rec_trigger] = step
                                     blen += 1
                                     issued += 1
+                                    if llc_prefetch is not None:
+                                        llc_prefetch(rec_trigger)
                                     if blen > bcap:
                                         bpopitem(last=False)
                                         blen -= 1
@@ -539,6 +694,8 @@ def _stream_lane(
                                         bmap[block] = step
                                         blen += 1
                                         issued += 1
+                                        if llc_prefetch is not None:
+                                            llc_prefetch(block)
                                         if blen > bcap:
                                             bpopitem(last=False)
                                             blen -= 1
@@ -549,6 +706,8 @@ def _stream_lane(
     stats.prefetch_hits = prefetch_hits
     stats.late_hits = late_hits
     stats.misses = misses
+    stats.llc_hits = llc_hits
+    stats.memory_misses = memory_misses
     stats.prefetches_issued = issued
     buffer.evicted_unused = evicted
     if is_trainer:
@@ -563,6 +722,7 @@ def run_stream_shared(
     lanes: List[Lane],
     inflight: Dict[int, int],
     prefetcher: "SHIFTPrefetcher | ConsolidatedSHIFTPrefetcher",
+    llc: "SharedLLC | None" = None,
 ) -> None:
     """SHIFT loop: lanes advance round-robin, one access per core per step."""
     config = prefetcher._config
@@ -576,7 +736,7 @@ def run_stream_shared(
         if consolidated:
             group = prefetcher._group_of_core.get(core_id)
             if group is None:
-                generators.append(_passive_lane(addresses, cache, stats))
+                generators.append(_passive_lane(addresses, cache, stats, llc))
                 continue
             history, index, compactor = group.history, group.index, group.compactor
             is_trainer = core_id == group.trainer_core
@@ -602,6 +762,7 @@ def run_stream_shared(
                 outstanding_cap,
                 engine._records_per_llc_block,
                 inflight[core_id],
+                llc,
             )
         )
     # Round-robin driver: resume each live lane once per step; lanes whose
@@ -634,12 +795,13 @@ def run_stream_shared(
 
 
 def run_per_core_generic(
-    lanes: List[Lane], inflight: Dict[int, int], prefetcher
+    lanes: List[Lane], inflight: Dict[int, int], prefetcher, llc: "SharedLLC | None" = None
 ) -> None:
     """Sequential per-core loop for state-private engines (`shares_state`
     False) that have no fully inlined specialization: cache and buffer are
     inlined, the prefetcher keeps its public ``on_access`` call."""
     on_access = prefetcher.on_access
+    per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
         sets = cache._sets
         num_sets = cache._num_sets
@@ -650,6 +812,9 @@ def run_per_core_generic(
         bpopitem = bmap.popitem
         blen = len(bmap)
         inflight_c = inflight[core_id]
+        events: List[LLCEvent] = []
+        record = events.append
+        track_llc = llc is not None
         demand_hits = prefetch_hits = late_hits = misses = 0
         issued = evicted = 0
         step = 0
@@ -673,6 +838,8 @@ def run_per_core_generic(
                 else:
                     misses += 1
                     outcome = 1
+                    if track_llc:
+                        record((step, address, True))
                 lines.insert(0, address)
                 if len(lines) > assoc:
                     lines.pop()
@@ -681,6 +848,8 @@ def run_per_core_generic(
                     bmap[block] = step
                     blen += 1
                     issued += 1
+                    if track_llc:
+                        record((step, block, False))
                     if blen > bcap:
                         bpopitem(last=False)
                         blen -= 1
@@ -692,6 +861,8 @@ def run_per_core_generic(
         stats.misses = misses
         stats.prefetches_issued = issued
         buffer.evicted_unused = evicted
+        per_lane.append((stats, events))
+    _replay_llc(llc, per_lane)
 
 
 __all__ = [

@@ -24,8 +24,10 @@ from typing import Dict, List, Optional
 
 from ..config import SystemConfig, scaled_system
 from ..errors import SimulationError
+from ..workloads.address_space import HISTORY_REGION_BASE, HISTORY_REGION_SPACING
 from ..workloads.trace import TraceSet
 from .cache import PrefetchBuffer, SetAssociativeCache
+from .llc import LLCStats, SharedLLC
 from .prefetchers import (
     HIT,
     MISS,
@@ -54,6 +56,11 @@ class CoreResult:
     in flight, which hides only part of the miss latency.  A late hit is
     accounted as half a miss (see :attr:`effective_misses`), matching the
     half-latency charge of the timing model.
+
+    When the shared LLC is modelled, every demand miss is classified:
+    ``llc_hits`` were served by the LLC, ``memory_misses`` went to main
+    memory (``llc_hits + memory_misses == misses``).  Runs without an LLC
+    model (``model_llc=False``, the frozen PR-1 reference) leave both at 0.
     """
 
     core_id: int
@@ -66,6 +73,8 @@ class CoreResult:
     prefetches_issued: int = 0
     prefetches_unused: int = 0
     history_block_reads: int = 0
+    llc_hits: int = 0
+    memory_misses: int = 0
 
     @property
     def effective_misses(self) -> float:
@@ -94,6 +103,10 @@ class SimulationResult:
     prefetcher_name: str
     system: SystemConfig
     cores: List[CoreResult] = field(default_factory=list)
+    #: Dedicated prefetcher storage per core (0 for baseline/next-line).
+    storage_bytes_per_core: int = 0
+    #: Shared-LLC statistics; None when the LLC was not modelled.
+    llc: Optional[LLCStats] = None
 
     @property
     def total_accesses(self) -> int:
@@ -110,6 +123,19 @@ class SimulationResult:
     @property
     def total_instructions(self) -> int:
         return sum(c.instructions for c in self.cores)
+
+    @property
+    def total_llc_hits(self) -> int:
+        return sum(c.llc_hits for c in self.cores)
+
+    @property
+    def total_memory_misses(self) -> int:
+        return sum(c.memory_misses for c in self.cores)
+
+    @property
+    def llc_hit_ratio(self) -> float:
+        """LLC hit ratio over all instruction accesses (demand + prefetch)."""
+        return self.llc.instruction_hit_ratio if self.llc is not None else 0.0
 
     @property
     def miss_ratio(self) -> float:
@@ -141,10 +167,12 @@ class SimulationEngine:
         system: Optional[SystemConfig] = None,
         prefetcher: Optional[Prefetcher] = None,
         prefetch_buffer_blocks: int = DEFAULT_PREFETCH_BUFFER_BLOCKS,
+        model_llc: bool = True,
     ) -> None:
         self._system = system if system is not None else scaled_system()
         self._prefetcher = prefetcher if prefetcher is not None else Prefetcher()
         self._buffer_blocks = prefetch_buffer_blocks
+        self._model_llc = model_llc
 
     @property
     def system(self) -> SystemConfig:
@@ -191,34 +219,76 @@ class SimulationEngine:
             for t in cores
         }
 
+        llc = self._build_llc(trace_set) if self._model_llc else None
+
         # Exact-type dispatch: subclasses may override on_access, so they
         # fall through to the per-core or round-robin generic loops below.
         ptype = type(prefetcher)
         if ptype is NullPrefetcher or ptype is Prefetcher:
-            _fastpath.run_baseline(lanes)
+            _fastpath.run_baseline(lanes, llc)
         elif ptype is NextLinePrefetcher:
-            _fastpath.run_next_line(lanes, inflight, prefetcher._degree)
+            _fastpath.run_next_line(lanes, inflight, prefetcher._degree, llc)
         elif ptype is PIFPrefetcher:
-            _fastpath.run_stream_per_core(lanes, inflight, prefetcher)
+            _fastpath.run_stream_per_core(lanes, inflight, prefetcher, llc)
         elif ptype is SHIFTPrefetcher or ptype is ConsolidatedSHIFTPrefetcher:
-            _fastpath.run_stream_shared(lanes, inflight, prefetcher)
+            _fastpath.run_stream_shared(lanes, inflight, prefetcher, llc)
         elif not getattr(prefetcher, "shares_state", True):
-            _fastpath.run_per_core_generic(lanes, inflight, prefetcher)
+            _fastpath.run_per_core_generic(lanes, inflight, prefetcher, llc)
         else:
-            self._run_round_robin(lanes, inflight, prefetcher)
+            self._run_round_robin(lanes, inflight, prefetcher, llc)
 
         for lane_core_id, _, _, lane_buffer, stats in lanes:
             stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
             stats.history_block_reads = prefetcher.history_block_reads(lane_core_id)
+        llc_stats: Optional[LLCStats] = None
+        if llc is not None:
+            llc.add_history_reads(sum(r.history_block_reads for r in results.values()))
+            llc_stats = llc.stats()
         return SimulationResult(
             prefetcher_name=prefetcher.name,
             system=system,
             cores=[results[t.core_id] for t in cores],
+            storage_bytes_per_core=prefetcher.storage_bytes_per_core(system.num_cores),
+            llc=llc_stats,
         )
 
+    def _build_llc(self, trace_set: TraceSet) -> SharedLLC:
+        """The run's shared LLC, with virtualized SHIFT histories pinned.
+
+        History regions come from the trace set's address layouts (the
+        ``HBBase`` windows of Section 4.2), so pinned history blocks can
+        never alias instruction blocks; trace sets built without layouts
+        fall back to the global history region base.
+        """
+        llc = SharedLLC(self._system.llc, self._system.num_cores)
+        prefetcher = self._prefetcher
+
+        def history_base(index: int) -> int:
+            layouts = trace_set.layouts
+            if index < len(layouts):
+                return layouts[index].history.base
+            return HISTORY_REGION_BASE + index * HISTORY_REGION_SPACING
+
+        if isinstance(prefetcher, ConsolidatedSHIFTPrefetcher):
+            if prefetcher.config.virtualized:
+                blocks = prefetcher.history_llc_blocks_per_group
+                for index in range(prefetcher.num_groups):
+                    llc.pin_region(history_base(index), blocks)
+        elif isinstance(prefetcher, SHIFTPrefetcher):
+            if prefetcher.config.virtualized:
+                llc.pin_region(history_base(0), prefetcher.config.history_llc_blocks)
+        return llc
+
     @staticmethod
-    def _run_round_robin(lanes, inflight, prefetcher) -> None:
-        """Generic loop over the public APIs, for custom prefetchers."""
+    def _run_round_robin(lanes, inflight, prefetcher, llc=None) -> None:
+        """Generic loop over the public APIs, for custom prefetchers.
+
+        This loop *defines* the round-robin semantics every fast path must
+        reproduce, including the order in which cores' L1 misses and
+        prefetch fetches reach the shared LLC: one access per core per
+        step, lanes visited in core-id order, the demand classification of
+        a miss preceding the prefetches it triggers.
+        """
         on_access = prefetcher.on_access
         max_len = max(len(addresses) for _, addresses, _, _, _ in lanes)
         for step in range(max_len):
@@ -240,23 +310,31 @@ class SimulationEngine:
                     else:
                         outcome = MISS
                         stats.misses += 1
+                        if llc is not None:
+                            if llc.access_demand(address):
+                                stats.llc_hits += 1
+                            else:
+                                stats.memory_misses += 1
                     cache.insert(address)
                 for block in on_access(core_id, address, outcome):
                     if not cache.contains(block) and buffer.insert(block, step):
                         stats.prefetches_issued += 1
+                        if llc is not None:
+                            llc.access_prefetch(block)
 
 
 def simulate(
     trace_set: TraceSet,
     system: Optional[SystemConfig] = None,
     prefetcher: "Prefetcher | str" = "none",
+    model_llc: bool = True,
     **factory_kwargs,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace_set`` with a named prefetcher."""
     sys_config = system if system is not None else scaled_system()
     if isinstance(prefetcher, str):
         prefetcher = make_prefetcher(prefetcher, sys_config, **factory_kwargs)
-    engine = SimulationEngine(system=sys_config, prefetcher=prefetcher)
+    engine = SimulationEngine(system=sys_config, prefetcher=prefetcher, model_llc=model_llc)
     return engine.run(trace_set)
 
 

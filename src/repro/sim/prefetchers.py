@@ -34,10 +34,17 @@ frozen PR-1 reference in :mod:`repro.sim._legacy`.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import NextLineConfig, PIFConfig, SHIFTConfig, StreamBufferConfig, SystemConfig
+from ..config import (
+    NextLineConfig,
+    PIFConfig,
+    SHIFTConfig,
+    StreamBufferConfig,
+    SystemConfig,
+)
 from ..errors import PrefetcherError
 
 #: Demand-access outcomes passed to :meth:`Prefetcher.on_access`.
@@ -89,6 +96,15 @@ class Prefetcher:
 
     def history_block_reads(self, core_id: int) -> int:
         """LLC blocks read for history records on behalf of ``core_id``."""
+        return 0
+
+    def storage_bytes_per_core(self, num_cores: int) -> int:
+        """Dedicated prefetcher storage per core (the paper's ~14x metric).
+
+        Per-core engines report their private history + index cost; shared
+        engines report the aggregate cost divided by ``num_cores``.  Stream
+        buffers are common to all temporal-streaming engines and excluded.
+        """
         return 0
 
 
@@ -387,6 +403,9 @@ class PIFPrefetcher(Prefetcher):
             return self._streams[core_id].on_miss(block_address)
         return self._streams[core_id].on_consume(block_address)
 
+    def storage_bytes_per_core(self, num_cores: int) -> int:
+        return self._config.storage_bytes_per_core
+
 
 class SHIFTPrefetcher(Prefetcher):
     """Shared History Instruction Fetch.
@@ -458,6 +477,10 @@ class SHIFTPrefetcher(Prefetcher):
             return 0
         return self._streams[core_id].llc_block_reads
 
+    def storage_bytes_per_core(self, num_cores: int) -> int:
+        total = self._config.storage_bytes_total
+        return -(-total // max(1, num_cores))
+
 
 class _ShiftGroup:
     """One logical SHIFT instance serving a group of cores."""
@@ -506,6 +529,12 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
         if split_history:
             entries = max(16, entries // len(groups))
         self._group_entries = entries
+        # One group's slice of the budget, as a SHIFTConfig so the storage
+        # and LLC-block accounting reuse the config's single code path
+        # (index_pointer_bits re-derived for the smaller history).
+        self._group_config = dataclasses.replace(
+            self._config, history_entries=entries, index_pointer_bits=None
+        )
         seen: set[int] = set()
         self._groups: List[_ShiftGroup] = []
         self._group_of_core: Dict[int, _ShiftGroup] = {}
@@ -547,6 +576,11 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
     def history_entries_per_group(self) -> int:
         return self._group_entries
 
+    @property
+    def history_llc_blocks_per_group(self) -> int:
+        """LLC blocks each group's virtualized history occupies."""
+        return self._group_config.history_llc_blocks
+
     def on_access(self, core_id: int, block_address: int, outcome: int) -> List[int]:
         group = self._group_of_core.get(core_id)
         if group is None:
@@ -565,6 +599,10 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
             return 0
         stream = self._streams.get(core_id)
         return stream.llc_block_reads if stream is not None else 0
+
+    def storage_bytes_per_core(self, num_cores: int) -> int:
+        total = self._group_config.storage_bytes_total * len(self._groups)
+        return -(-total // max(1, num_cores))
 
 
 def make_prefetcher(

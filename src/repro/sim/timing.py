@@ -6,13 +6,22 @@ uses the first-order approximation that drives them: a core retires at
 and ``stall_exposure`` of the miss latency reaches retirement (wider cores
 hide more of it in the instruction window — Table I / Section 2.3).
 
-Instruction blocks of server workloads are LLC-resident (the footprints fit
-in the aggregate LLC), so a demand L1-I miss costs the NoC round trip plus an
-LLC bank access.  For virtualized SHIFT, history records are read from the
-LLC as well; each such block read delays the stream's prefetches, which we
-charge as a configurable fraction of an LLC hit latency
-(:data:`HISTORY_READ_CHARGE`), reproducing the paper's small gap between SHIFT
-and an equally sized PIF.
+With the shared LLC modelled (:mod:`repro.sim.llc`), every demand L1-I miss
+is classified: an LLC hit costs the NoC round trip plus an LLC bank access
+(:meth:`~repro.config.SystemConfig.llc_demand_latency_cycles`), a memory
+miss additionally pays the off-chip access
+(:meth:`~repro.config.SystemConfig.memory_demand_latency_cycles`).  Results
+from runs without an LLC model (the frozen PR-1 reference) carry no
+classification and are charged uniformly at LLC latency — PR-1's demand
+charging.  (PR-1's *history* charge is not preserved: it billed half an
+LLC bank access per history-block read; a real read of a pinned block
+costs a full one.)
+
+For virtualized SHIFT, history records are *real* LLC reads of the pinned
+history blocks (one bank access per 64-byte block of 12 records); each read
+delays the stream's prefetches by an LLC bank access, which is what
+:func:`core_timing` charges per ``history_block_reads``.  The NoC hop to
+the bank overlaps with stream consumption and is not charged.
 """
 
 from __future__ import annotations
@@ -23,10 +32,6 @@ from typing import Dict, List, Optional
 from ..config import CoreConfig, SystemConfig
 from ..errors import SimulationError
 from .engine import CoreResult, SimulationResult
-
-#: Fraction of an LLC hit latency charged per history-block read (the rest is
-#: overlapped with stream consumption).
-HISTORY_READ_CHARGE = 0.5
 
 
 @dataclass(frozen=True)
@@ -48,7 +53,6 @@ def core_timing(
     result: CoreResult,
     system: SystemConfig,
     core: Optional[CoreConfig] = None,
-    history_read_charge: float = HISTORY_READ_CHARGE,
 ) -> CoreTiming:
     """Timing for one core of one simulation run."""
     core_config = core if core is not None else system.core
@@ -56,10 +60,16 @@ def core_timing(
         raise SimulationError("core retired no instructions; cannot compute timing")
     base_cycles = result.instructions / core_config.base_ipc
     miss_latency = system.llc_demand_latency_cycles()
+    memory_latency = system.memory_demand_latency_cycles()
+    # Unclassified misses (no LLC model in the run) charge LLC latency,
+    # reproducing the pre-LLC timing for legacy results.
+    memory_misses = result.memory_misses
+    llc_served = result.misses - memory_misses
     stall_cycles = core_config.stall_exposure * (
-        result.misses * miss_latency
+        llc_served * miss_latency
+        + memory_misses * memory_latency
         + result.late_hits * 0.5 * miss_latency
-        + result.history_block_reads * system.llc.hit_latency_cycles * history_read_charge
+        + result.history_block_reads * system.llc.hit_latency_cycles
     )
     return CoreTiming(
         core_id=result.core_id,
@@ -114,5 +124,4 @@ __all__ = [
     "system_timing",
     "aggregate_ipc",
     "weighted_speedup",
-    "HISTORY_READ_CHARGE",
 ]

@@ -3,15 +3,18 @@
 The headline claim of KaynakGF13 is not a single number but a *robustness*
 result: SHIFT retains most of PIF's benefit across history-storage budgets
 (Figures 6–7), core counts (Figure 8 — amortization is what makes the shared
-history attractive) and consolidated-server mixes (Figure 9).  This package
-parameterizes :func:`repro.experiments.run_experiment` over those axes:
+history attractive), consolidated-server mixes (Figure 9) and LLC capacities
+(Section 5.4 — the virtualized history must not hurt the LLC it lives in).
+This package parameterizes :func:`repro.experiments.run_experiment` over
+those axes:
 
 ========= ===================================================== ============
 axis       sweep values                                          paper figure
 ========= ===================================================== ============
 storage    paper-scale history entries for PIF and SHIFT         Figs. 6–7
-cores      number of traced cores on the CMP                     Fig. 8
+cores      cores on the CMP (LLC slices and mesh scale along)    Fig. 8
 consolid.  workload mixes sharing the CMP, split SHIFT history   Fig. 9
+llc        paper-scale LLC KB per core (shared-LLC capacity)     Sec. 5.4
 seeds      workload-generation RNG seeds (robustness check)      —
 ========= ===================================================== ============
 
@@ -19,7 +22,10 @@ Every sweep point is a full engine-comparison report; the sweep report is
 JSON-round-trippable and byte-identical across serial and parallel
 execution.  ``python -m repro.sweeps --axis storage --check`` exits non-zero
 if any point violates the paper ordering (SHIFT within tolerance of PIF,
-both above next-line).
+both above next-line).  The ``llc`` axis additionally checks Section 5.4's
+claim: SHIFT's LLC instruction hit ratio stays within
+:data:`LLC_HIT_RATIO_TOLERANCE` of PIF's (whose LLC holds no history) at
+every capacity point.
 """
 
 from __future__ import annotations
@@ -43,6 +49,15 @@ DEFAULT_STORAGE_POINTS: Tuple[int, ...] = (4096, 8192, 16384, 32768, 65536)
 #: Core counts swept by ``--axis cores`` (the paper's CMP has 16).
 DEFAULT_CORE_POINTS: Tuple[int, ...] = (2, 4, 8, 16)
 
+#: Paper-scale LLC KB per core swept by ``--axis llc`` (Table I uses 512 KB;
+#: Section 5.4 shrinks and grows the LLC around it — the 64 KB point puts
+#: the pinned history at ~17% of capacity and real pressure on the LLC).
+DEFAULT_LLC_POINTS: Tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+#: Maximum allowed gap between SHIFT's and PIF's LLC instruction hit ratio
+#: at any ``llc`` sweep point (the Section 5.4 "costs almost nothing" bound).
+LLC_HIT_RATIO_TOLERANCE = 0.05
+
 #: Seeds swept by ``--axis seeds``.
 DEFAULT_SEED_POINTS: Tuple[int, ...] = (0, 1, 2)
 
@@ -56,7 +71,7 @@ DEFAULT_CONSOLIDATION_MIXES: Tuple[Tuple[str, ...], ...] = (
     ("oltp_db2", "web_frontend", "dss_qry17", "web_search"),
 )
 
-SWEEP_AXES: Tuple[str, ...] = ("storage", "cores", "consolidation", "seeds")
+SWEEP_AXES: Tuple[str, ...] = ("storage", "cores", "consolidation", "llc", "seeds")
 
 
 @dataclass
@@ -105,14 +120,39 @@ class SweepReport:
     points: List[SweepPoint] = field(default_factory=list)
     params: Dict[str, object] = field(default_factory=dict)
 
-    def check(self, tolerance: float = 0.10) -> List[str]:
-        """Paper-ordering violations across every sweep point."""
+    def check(
+        self,
+        tolerance: float = 0.10,
+        llc_tolerance: float = LLC_HIT_RATIO_TOLERANCE,
+    ) -> List[str]:
+        """Paper-ordering violations across every sweep point.
+
+        The ``llc`` axis additionally enforces Section 5.4: virtualizing
+        the history into the LLC must leave SHIFT's LLC instruction hit
+        ratio within ``llc_tolerance`` of PIF's, whose LLC carries no
+        history blocks, at every capacity point.
+        """
         violations: List[str] = []
         if not self.points:
             return [f"{self.axis}: sweep has no points"]
         for point in self.points:
             for violation in point.report.check_paper_ordering(tolerance):
                 violations.append(f"[{self.axis}={point.label}] {violation}")
+            if self.axis != "llc":
+                continue
+            for row in point.report.rows:
+                pif = row.outcomes.get("pif")
+                shift = row.outcomes.get("shift")
+                if pif is None or shift is None:
+                    continue
+                gap = pif.llc_hit_ratio - shift.llc_hit_ratio
+                if gap > llc_tolerance:
+                    violations.append(
+                        f"[{self.axis}={point.label}] {row.workload}: history "
+                        f"virtualization costs {gap:.3f} of LLC hit ratio "
+                        f"(SHIFT {shift.llc_hit_ratio:.3f} vs PIF "
+                        f"{pif.llc_hit_ratio:.3f}, tolerance {llc_tolerance})"
+                    )
         return violations
 
     def to_dict(self) -> Dict[str, object]:
@@ -198,6 +238,16 @@ def run_sweep(
                 workloads=workloads, num_cores=cores, seed=seed, **common
             )
             points.append(SweepPoint(axis, cores, str(cores), report))
+    elif axis == "llc":
+        for llc_kb in _int_values(values, DEFAULT_LLC_POINTS):
+            report = run_experiment(
+                workloads=workloads,
+                num_cores=num_cores,
+                seed=seed,
+                llc_kb_per_core=llc_kb,
+                **common,
+            )
+            points.append(SweepPoint(axis, llc_kb, f"{llc_kb}KB", report))
     elif axis == "seeds":
         for sweep_seed in _int_values(values, DEFAULT_SEED_POINTS):
             report = run_experiment(
@@ -256,8 +306,10 @@ __all__ = [
     "SWEEP_AXES",
     "DEFAULT_STORAGE_POINTS",
     "DEFAULT_CORE_POINTS",
+    "DEFAULT_LLC_POINTS",
     "DEFAULT_SEED_POINTS",
     "DEFAULT_CONSOLIDATION_MIXES",
+    "LLC_HIT_RATIO_TOLERANCE",
     "SweepPoint",
     "SweepReport",
     "run_sweep",

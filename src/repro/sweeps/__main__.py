@@ -25,14 +25,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweeps",
         description="Sensitivity sweeps over history storage, core count, "
-        "consolidation mixes and seeds (paper Figs. 6-9).",
+        "consolidation mixes, LLC capacity and seeds (paper Figs. 6-9 and "
+        "Sec. 5.4).",
     )
     parser.add_argument("--axis", choices=SWEEP_AXES, required=True, help="sweep axis")
     parser.add_argument(
         "--values",
         default=None,
-        help="override sweep points: comma-separated integers, or for "
-        "--axis consolidation semicolon-separated workload mixes "
+        help="override sweep points: comma-separated integers (history "
+        "entries, core counts, paper-scale LLC KB per core, or seeds), or "
+        "for --axis consolidation semicolon-separated workload mixes "
         "(e.g. 'oltp_db2,web_frontend;dss_qry2,web_search')",
     )
     parser.add_argument("--system", choices=("scaled", "paper"), default="scaled")

@@ -32,7 +32,7 @@ from .suite import WorkloadSpec
 from .trace import TraceSet
 
 #: Bump when the pickle payload or generation semantics change.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache directory (under the working directory, like ``.pytest_cache``).
 DEFAULT_CACHE_DIR = ".trace_cache"
@@ -48,16 +48,18 @@ def trace_cache_key(
     """Deterministic content key for one generated trace set.
 
     ``specs`` is a single spec, or the tuple of specs of a consolidation mix
-    (order matters: it fixes the core-group assignment).
+    (order matters: it fixes the core-group assignment).  Of the system
+    configuration only the core count influences generation (the specs are
+    already scaled), so cache-geometry sweeps — LLC slice sizes, L1 sizes —
+    share one cached trace set per (specs, cores, seed, length) point.
     """
     if isinstance(specs, WorkloadSpec):
         specs = (specs,)
     payload = {
         "version": CACHE_FORMAT_VERSION,
         "specs": [asdict(spec) for spec in specs],
-        "system": asdict(system),
+        "cores": num_cores if num_cores is not None else system.num_cores,
         "seed": seed,
-        "num_cores": num_cores,
         "blocks_per_core": blocks_per_core,
     }
     digest = hashlib.sha256(

@@ -34,7 +34,8 @@ class TestReportAlignment:
             workloads=["oltp_db2"], num_cores=2, blocks_per_core=1_500, seed=0
         )
         lines = format_report(report).splitlines()
-        header, rows = lines[1], lines[3:]
+        # Workload rows sit between the header rule and the storage footer.
+        header, rows = lines[1], lines[3 : 3 + len(report.rows)]
         assert all(len(row) == len(header) for row in rows)
         # Each value cell must end exactly where its header column ends
         # (right-aligned 13-character cells under 13-character headers).

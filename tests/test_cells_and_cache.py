@@ -36,6 +36,21 @@ class TestCellSpec:
         assert result.prefetcher_name == "shift"
         assert result.total_accesses == 4 * 1_500
 
+    def test_run_cell_threads_num_cores_into_the_system(self):
+        """Regression: a >16-core cell used to crash against the default
+        16-core system; a ≤16-core cell simulated an unshrunk LLC."""
+        big = run_cell(replace(CELL, num_cores=20, blocks_per_core=800))
+        assert len(big.cores) == 20
+        assert big.system.num_cores == 20
+        small = run_cell(replace(CELL, num_cores=4, blocks_per_core=800))
+        assert small.system.num_cores == 4
+        assert small.system.llc_total_blocks == 4 * small.system.llc.size_bytes_per_core // 64
+
+    def test_llc_override_reaches_the_simulated_system(self):
+        result = run_cell(replace(CELL, llc_bytes_per_core=128 * 1024))
+        assert result.system.llc.size_bytes_per_core == 8 * 1024
+        assert result.llc.total_blocks == result.system.llc_total_blocks
+
 
 class TestExecuteCells:
     CELLS = [

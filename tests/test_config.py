@@ -49,6 +49,20 @@ class TestInterconnect:
         mesh = InterconnectConfig(rows=4, columns=4)
         assert mesh.num_tiles == 16
 
+    def test_for_cores_keeps_the_table_i_die_up_to_16(self):
+        for cores in (1, 2, 4, 16):
+            mesh = InterconnectConfig.for_cores(cores)
+            assert (mesh.rows, mesh.columns) == (4, 4)
+
+    def test_for_cores_grows_near_square_beyond_16(self):
+        assert (InterconnectConfig.for_cores(32).rows,
+                InterconnectConfig.for_cores(32).columns) == (4, 8)
+        assert InterconnectConfig.for_cores(64).num_tiles == 64
+        # Primes fall back to the smallest covering near-square mesh.
+        mesh = InterconnectConfig.for_cores(17)
+        assert mesh.num_tiles >= 17
+        assert abs(mesh.rows - mesh.columns) <= 2
+
     def test_average_hop_count_square_mesh(self):
         mesh = InterconnectConfig(rows=4, columns=4, cycles_per_hop=3)
         assert mesh.average_hop_count() == pytest.approx(2.5)
@@ -84,7 +98,28 @@ class TestStorageAccounting:
     def test_shift_pointer_bits_match_paper(self):
         shift = paper_shift_config()
         assert shift.required_pointer_bits() == 15
-        assert shift.index_pointer_bits >= shift.required_pointer_bits()
+        assert shift.index_pointer_bits == 15
+
+    def test_shift_pointer_bits_follow_scaled_history(self):
+        # 2048 entries need 11 bits, not the paper's 15: the derived width
+        # must shrink with the history.
+        shift = scaled_shift_config(scale=16)
+        assert shift.history_entries == 2048
+        assert shift.index_pointer_bits == 11
+
+    def test_shift_explicit_pointer_bits_validated(self):
+        assert SHIFTConfig(history_entries=2048, index_pointer_bits=15).index_pointer_bits == 15
+        with pytest.raises(ConfigurationError):
+            SHIFTConfig(history_entries=32 * 1024, index_pointer_bits=11)
+
+    def test_shift_storage_total_counts_history_and_index(self):
+        shift = paper_shift_config()
+        assert shift.index_bytes == (32 * 1024 * 15 + 7) // 8
+        assert shift.storage_bytes_total == shift.history_llc_bytes + shift.index_bytes
+        # The headline claim: per-core SHIFT storage is an order of
+        # magnitude below the equally provisioned PIF's.
+        pif = paper_pif_config()
+        assert pif.storage_bytes_per_core / (shift.storage_bytes_total / 16) > 10
 
 
 class TestScaledConfigs:
@@ -95,6 +130,31 @@ class TestScaledConfigs:
         scaled_ratio = scaled.llc.size_bytes_per_core / scaled.l1i.size_bytes
         assert scaled_ratio == pytest.approx(paper_ratio)
         assert scaled.scale == 16
+
+    def test_scaled_system_llc_override(self):
+        system = scaled_system(scale=16, llc_bytes_per_core=128 * 1024)
+        assert system.llc.size_bytes_per_core == 8 * 1024
+        # 64 KB is the smallest override that survives the 4 KB scaled floor.
+        floor = scaled_system(scale=16, llc_bytes_per_core=64 * 1024)
+        assert floor.llc.size_bytes_per_core == 4 * 1024
+
+    def test_llc_override_below_the_scaled_floor_is_an_error(self):
+        # Silently rounding a 16 KB point up to the floor would make it a
+        # duplicate of the 64 KB point under a different label.
+        with pytest.raises(ConfigurationError):
+            scaled_system(scale=16, llc_bytes_per_core=16 * 1024)
+
+    def test_llc_override_rejects_non_positive_sizes(self):
+        # 0 must error, not silently fall back to the 512 KB default.
+        with pytest.raises(ConfigurationError):
+            scaled_system(scale=16, llc_bytes_per_core=0)
+        with pytest.raises(ConfigurationError):
+            paper_system(llc_bytes_per_core=0)
+
+    def test_scaled_system_sizes_mesh_and_llc_to_cores(self):
+        system = scaled_system(num_cores=32)
+        assert system.interconnect.num_tiles >= 32
+        assert system.llc_total_blocks == 32 * system.llc.size_bytes_per_core // 64
 
     def test_scaled_prefetcher_histories_shrink_together(self):
         pif = scaled_pif_config(scale=16)

@@ -3,6 +3,10 @@
 Every specialized loop in :mod:`repro.sim._fastpath` (and the per-core
 reordering it performs for state-private engines) is pinned here against
 :mod:`repro.sim._legacy` — full per-core counter equality, not tolerances.
+The two shared-LLC classification counters (``llc_hits`` /
+``memory_misses``) postdate the frozen engine and are excluded from the
+legacy comparison; they are pinned against the generic round-robin loop in
+``tests/test_llc.py`` instead.
 """
 
 from dataclasses import asdict
@@ -26,9 +30,19 @@ ENGINE_KWARGS = {
     "shift": {"shift_config": scaled_shift_config(16)},
 }
 
+#: Counters the frozen PR-1 engine cannot produce (it has no LLC model).
+POST_LEGACY_FIELDS = ("llc_hits", "memory_misses")
+
 
 def core_dicts(result):
     return [asdict(core) for core in result.cores]
+
+
+def legacy_comparable_dicts(result):
+    return [
+        {k: v for k, v in asdict(core).items() if k not in POST_LEGACY_FIELDS}
+        for core in result.cores
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -55,13 +69,13 @@ class TestFastPathEquivalence:
     def test_counters_match_legacy(self, trace_set, engine):
         optimized = simulate(trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
         legacy = legacy_simulate(trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
-        assert core_dicts(optimized) == core_dicts(legacy)
+        assert legacy_comparable_dicts(optimized) == legacy_comparable_dicts(legacy)
 
     @pytest.mark.parametrize("engine", list(ENGINE_KWARGS))
     def test_counters_match_legacy_uneven_lengths(self, uneven_trace_set, engine):
         optimized = simulate(uneven_trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
         legacy = legacy_simulate(uneven_trace_set, SYSTEM, engine, **ENGINE_KWARGS[engine])
-        assert core_dicts(optimized) == core_dicts(legacy)
+        assert legacy_comparable_dicts(optimized) == legacy_comparable_dicts(legacy)
 
     def test_shift_subclass_falls_back_to_generic_loop(self, trace_set):
         """Subclassed engines bypass the exact-type fast paths but must agree."""

@@ -26,6 +26,60 @@ class TestRunSweep:
         assert [point.value for point in report.points] == [2, 4]
         assert report.check() == []
 
+    def test_cores_axis_sizes_the_system_to_the_point(self):
+        """≤16-core points must not simulate against an unshrunk 16-slice LLC."""
+        report = run_sweep("cores", values=[4], workloads=["oltp_db2"], blocks_per_core=2_000)
+        assert report.points[0].report.params["num_cores"] == 4
+        from repro.experiments.cells import CellSpec, system_for_cell
+
+        system = system_for_cell(CellSpec(workload="oltp_db2", engine="none", num_cores=4))
+        assert system.num_cores == 4
+        assert system.llc_total_blocks == 4 * system.llc.size_bytes_per_core // 64
+
+    def test_cores_axis_beyond_sixteen_cores(self):
+        """Regression: ``--axis cores --values 32`` used to crash with
+        'trace set has 32 cores but the system only has 16'."""
+        report = run_sweep(
+            "cores", values=[24], workloads=["oltp_db2"], blocks_per_core=1_000
+        )
+        point = report.points[0]
+        row = point.report.rows[0]
+        assert set(row.outcomes) == {"next_line", "pif", "shift"}
+        assert all(outcome.coverage > 0 for outcome in row.outcomes.values())
+
+    def test_llc_axis_shrinks_the_shared_llc(self):
+        # 256 KB is the smallest point at which this 4-core test system
+        # (4 LLC slices, so a quarter of the default capacity) still holds
+        # the Section 5.4 bound; the full 16-slice CI sweep goes to 64 KB.
+        report = run_sweep("llc", values=[256, 512], **FAST)
+        assert [point.value for point in report.points] == [256, 512]
+        assert [point.label for point in report.points] == ["256KB", "512KB"]
+        assert report.check() == []
+        small, large = report.points
+        assert small.report.params["llc_kb_per_core"] == 256
+        # Both points carry populated LLC metrics.  (Hit-ratio monotonicity
+        # across capacities is *not* asserted: changing the set count also
+        # changes the block-to-set conflict map, so it is not a theorem for
+        # set-associative LRU.)
+        for point in (small, large):
+            for row in point.report.rows:
+                assert 0.0 < row.outcomes["shift"].llc_hit_ratio <= 1.0
+                assert 0.0 < row.baseline_llc_hit_ratio <= 1.0
+
+    def test_llc_axis_rejects_non_positive_sizes(self):
+        """A 0 KB point must error, not silently run the default slice."""
+        with pytest.raises(ConfigurationError):
+            run_sweep("llc", values=[0], **FAST)
+
+    def test_llc_axis_check_flags_hit_ratio_gaps(self):
+        report = run_sweep("llc", values=[512], **FAST)
+        point_row = report.points[0].report.rows[0]
+        point_row.outcomes["shift"].llc_hit_ratio = (
+            point_row.outcomes["pif"].llc_hit_ratio - 0.2
+        )
+        violations = report.check()
+        assert any("history virtualization" in violation for violation in violations)
+
     def test_seeds_axis(self):
         report = run_sweep("seeds", values=[0, 1], workloads=["oltp_db2"],
                            num_cores=4, blocks_per_core=2_000)

@@ -1,0 +1,115 @@
+"""The stall-exposure timing model: charges, aggregation, edge cases."""
+
+import pytest
+
+from repro.config import FAT_OOO, LEAN_IO, scaled_system
+from repro.errors import SimulationError
+from repro.sim import aggregate_ipc, core_timing, system_timing, weighted_speedup
+from repro.sim.engine import CoreResult, SimulationResult
+from repro.sim.timing import CoreTiming
+
+SYSTEM = scaled_system()
+
+
+def core_result(**kwargs):
+    defaults = dict(core_id=0, accesses=1_000, instructions=10_000)
+    defaults.update(kwargs)
+    return CoreResult(**defaults)
+
+
+class TestCoreTiming:
+    def test_no_misses_runs_at_base_ipc(self):
+        timing = core_timing(core_result(demand_hits=1_000), SYSTEM)
+        assert timing.stall_cycles == 0
+        assert timing.ipc == pytest.approx(SYSTEM.core.base_ipc)
+
+    def test_zero_instructions_is_an_error(self):
+        with pytest.raises(SimulationError):
+            core_timing(core_result(instructions=0), SYSTEM)
+
+    def test_unclassified_misses_charge_llc_latency(self):
+        timing = core_timing(core_result(misses=100), SYSTEM)
+        expected = (
+            SYSTEM.core.stall_exposure * 100 * SYSTEM.llc_demand_latency_cycles()
+        )
+        assert timing.stall_cycles == pytest.approx(expected)
+
+    def test_memory_misses_charge_memory_latency(self):
+        classified = core_timing(
+            core_result(misses=100, llc_hits=90, memory_misses=10), SYSTEM
+        )
+        unclassified = core_timing(core_result(misses=100), SYSTEM)
+        extra = (
+            SYSTEM.core.stall_exposure
+            * 10
+            * (SYSTEM.memory_demand_latency_cycles() - SYSTEM.llc_demand_latency_cycles())
+        )
+        assert classified.stall_cycles == pytest.approx(
+            unclassified.stall_cycles + extra
+        )
+
+    def test_late_hits_cost_half_a_miss(self):
+        late = core_timing(core_result(late_hits=2), SYSTEM)
+        full = core_timing(core_result(misses=1), SYSTEM)
+        assert late.stall_cycles == pytest.approx(full.stall_cycles)
+
+    def test_history_reads_charge_an_llc_bank_access(self):
+        timing = core_timing(core_result(history_block_reads=8), SYSTEM)
+        expected = SYSTEM.core.stall_exposure * 8 * SYSTEM.llc.hit_latency_cycles
+        assert timing.stall_cycles == pytest.approx(expected)
+
+    def test_wider_cores_hide_more_stall(self):
+        result = core_result(misses=500)
+        fat = core_timing(result, SYSTEM, core=FAT_OOO)
+        lean_io = core_timing(result, SYSTEM, core=LEAN_IO)
+        assert fat.stall_cycles < lean_io.stall_cycles
+
+
+class TestAggregateIpc:
+    def test_total_instructions_over_makespan(self):
+        timings = [
+            CoreTiming(
+                core_id=0, instructions=100, cycles=50.0, base_cycles=50.0, stall_cycles=0.0
+            ),
+            CoreTiming(
+                core_id=1, instructions=100, cycles=100.0, base_cycles=50.0, stall_cycles=50.0
+            ),
+        ]
+        assert aggregate_ipc(timings) == pytest.approx(200 / 100.0)
+
+    def test_empty_timings_is_an_error(self):
+        with pytest.raises(SimulationError):
+            aggregate_ipc([])
+
+    def test_non_positive_makespan_is_an_error(self):
+        timings = [
+            CoreTiming(core_id=0, instructions=0, cycles=0.0, base_cycles=0.0, stall_cycles=0.0)
+        ]
+        with pytest.raises(SimulationError):
+            aggregate_ipc(timings)
+
+
+class TestWeightedSpeedup:
+    def _result(self, cores):
+        return SimulationResult(prefetcher_name="x", system=SYSTEM, cores=cores)
+
+    def test_identical_results_give_unity(self):
+        result = self._result([core_result(misses=100)])
+        assert weighted_speedup(result, result) == pytest.approx(1.0)
+
+    def test_fewer_memory_misses_speed_up(self):
+        baseline = self._result([core_result(misses=100, llc_hits=50, memory_misses=50)])
+        better = self._result([core_result(misses=100, llc_hits=100)])
+        assert weighted_speedup(better, baseline) > 1.0
+
+    def test_missing_baseline_core_is_an_error(self):
+        result = self._result([core_result(core_id=3)])
+        baseline = self._result([core_result(core_id=0)])
+        with pytest.raises(SimulationError):
+            weighted_speedup(result, baseline)
+
+    def test_system_timing_uses_result_system(self):
+        result = self._result([core_result(misses=10), core_result(core_id=1)])
+        timings = system_timing(result)
+        assert [t.core_id for t in timings] == [0, 1]
+        assert timings[0].cycles > timings[1].cycles
