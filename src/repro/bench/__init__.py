@@ -10,11 +10,16 @@ becomes part of the repo's recorded trajectory:
   implementations produced identical reports and that the paper ordering
   holds.
 * ``hotloop`` — per-engine simulation time (none / next-line / PIF / SHIFT)
-  on a single workload trace, legacy versus optimized, isolating the
-  :mod:`repro.sim._fastpath` gains from trace generation and driver
-  overhead.
+  on a single workload trace: legacy versus optimized Python loops, and
+  ``python`` versus ``numpy`` backend (warm-cache, best-of-repeats),
+  isolating the :mod:`repro.sim._fastpath` / :mod:`repro.sim.backends`
+  gains from trace generation and driver overhead.
 
-Run with ``python -m repro.bench --quick`` for a CI-sized smoke version.
+:func:`check_against` is the CI bench-regression gate: it compares a fresh
+hotloop run's *speedup ratios* against the committed ``BENCH_hotloop.json``
+and fails on a >15% relative drop (ratios, unlike seconds, transfer across
+machines).  Run with ``python -m repro.bench --quick`` for a CI-sized
+smoke version, or ``--check-against BENCH_hotloop.json`` for the gate.
 """
 
 from __future__ import annotations
@@ -203,7 +208,16 @@ def bench_experiment(
 def bench_hotloop(
     quick: bool = False, seed: int = 0, repeats: int = 3, workload: str = "oltp_db2"
 ) -> Dict[str, object]:
-    """Per-engine simulation time on one trace: legacy vs. optimized loops."""
+    """Per-engine simulation time on one trace: legacy vs. optimized loops,
+    plus the numpy-vs-python backend comparison.
+
+    Backend timings are best-of-``repeats``: with ``repeats >= 2`` the
+    numpy numbers are *warm-cache* throughput — the backend's trace-pure
+    precomputations (hit flags, record streams, solved timelines) are
+    memoized across runs of the same trace set, which is the steady state
+    of sweeps and repeated ``--check`` invocations.  Exact-counter
+    equality between the backends is asserted (``backends_match``).
+    """
     sys_config = system_for("scaled", 16)
     spec = scaled_workload(workload_by_name(workload), sys_config.scale)
     blocks = QUICK_BLOCKS if quick else None
@@ -221,19 +235,26 @@ def bench_hotloop(
     engines: Dict[str, object] = {}
     total_legacy = 0.0
     total_optimized = 0.0
+    from dataclasses import asdict
     from functools import partial
 
-    from ..sim import simulate
+    from ..sim import available_backends, simulate
 
+    numpy_available = "numpy" in available_backends()
+    backends_match = True
+    total_numpy = 0.0
     for engine, kwargs in engine_kwargs.items():
         legacy_best = min(
             _timed(partial(_legacy.legacy_simulate, trace_set, sys_config, engine, **kwargs))
             for _ in range(repeats)
         )
-        optimized_best = min(
-            _timed(partial(simulate, trace_set, sys_config, engine, **kwargs))
+        python_runs = [
+            _timed_result(
+                partial(simulate, trace_set, sys_config, engine, backend="python", **kwargs)
+            )
             for _ in range(repeats)
-        )
+        ]
+        optimized_best = min(seconds for seconds, _result in python_runs)
         total_legacy += legacy_best
         total_optimized += optimized_best
         engines[engine] = {
@@ -241,10 +262,30 @@ def bench_hotloop(
             "optimized_seconds": round(optimized_best, 4),
             "speedup": round(legacy_best / optimized_best, 3),
         }
-    return {
+        if numpy_available:
+            numpy_runs = [
+                _timed_result(
+                    partial(simulate, trace_set, sys_config, engine, backend="numpy", **kwargs)
+                )
+                for _ in range(repeats)
+            ]
+            numpy_best = min(seconds for seconds, _result in numpy_runs)
+            total_numpy += numpy_best
+            engines[engine]["numpy_seconds"] = round(numpy_best, 4)
+            engines[engine]["numpy_speedup"] = round(optimized_best / numpy_best, 3)
+            # Parity check against one (deterministic) run of each backend,
+            # reusing results the timing loops already produced.
+            python_result = python_runs[-1][1]
+            numpy_result = numpy_runs[-1][1]
+            if [asdict(c) for c in python_result.cores] != [
+                asdict(c) for c in numpy_result.cores
+            ] or asdict(python_result.llc) != asdict(numpy_result.llc):
+                backends_match = False
+    result: Dict[str, object] = {
         "benchmark": "hotloop",
         "description": "per-engine simulation of one workload trace: frozen PR-1 "
-        "loops vs repro.sim._fastpath (which additionally models the shared LLC)",
+        "loops vs repro.sim._fastpath (which additionally models the shared LLC), "
+        "and python vs numpy backend (warm-cache, best-of-repeats)",
         "config": {
             "workload": workload,
             "seed": seed,
@@ -255,13 +296,118 @@ def bench_hotloop(
         },
         "engines": engines,
         "total_speedup": round(total_legacy / total_optimized, 3),
+        "backend": {
+            "numpy_available": numpy_available,
+        },
     }
+    if numpy_available:
+        result["backend"]["backends_match"] = backends_match
+        result["backend"]["total_numpy_speedup"] = round(total_optimized / total_numpy, 3)
+    return result
 
 
 def _timed(thunk) -> float:
     started = time.perf_counter()
     thunk()
     return time.perf_counter() - started
+
+
+def _timed_result(thunk):
+    """Like :func:`_timed` but keeps the run's return value."""
+    started = time.perf_counter()
+    value = thunk()
+    return time.perf_counter() - started, value
+
+
+#: Relative headroom the bench-regression gate allows before failing.
+DEFAULT_REGRESSION_TOLERANCE = 0.15
+
+#: Config keys that must match for two hotloop runs to be comparable.
+#: ``repeats``/``quick`` matter because warm-cache numpy timings need
+#: ``repeats >= 2`` — a cold single-repeat run would false-fail against a
+#: warm baseline.
+_COMPARABLE_CONFIG_KEYS = ("workload", "seed", "blocks_per_core", "accesses", "repeats", "quick")
+
+#: Per-engine numpy-vs-python ratios below this in the *baseline* are not
+#: gated: they mark engines running through the exact Python fallback
+#: (SHIFT), where the ratio is timing noise around 1.0, not a speedup that
+#: could regress.
+_GATE_MIN_BASELINE_SPEEDUP = 1.5
+
+
+def check_against(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare a fresh benchmark result against a committed baseline.
+
+    Returns a list of regressions (empty = gate passes).  The gate
+    compares *speedup ratios* — the aggregate legacy-vs-optimized ratio
+    and the per-engine warm-cache numpy-vs-python ratios — rather than
+    absolute seconds, so it is portable across machines: a ratio that
+    drops more than ``tolerance`` below the committed value means the
+    optimized path (or the numpy backend) lost ground relative to the
+    same-machine reference it is measured against.  Ratios that do not
+    measure a real speedup are excluded as pure timing noise: per-engine
+    legacy-vs-optimized ratios hover near 1.0 (only their aggregate is
+    gated) and numpy ratios of Python-fallback engines sit below
+    :data:`_GATE_MIN_BASELINE_SPEEDUP` in the baseline.  A backend
+    divergence (``backends_match`` gone false) always fails.
+    """
+    violations: List[str] = []
+    if current.get("benchmark") != baseline.get("benchmark"):
+        return [
+            f"benchmark mismatch: current {current.get('benchmark')!r} vs "
+            f"baseline {baseline.get('benchmark')!r}"
+        ]
+    current_config = dict(current.get("config", {}))
+    baseline_config = dict(baseline.get("config", {}))
+    for key in _COMPARABLE_CONFIG_KEYS:
+        if key in baseline_config and current_config.get(key) != baseline_config[key]:
+            violations.append(
+                f"config.{key} differs (current {current_config.get(key)!r} vs "
+                f"baseline {baseline_config[key]!r}); runs are not comparable"
+            )
+    if violations:
+        return violations
+
+    def _check_ratio(name: str, cur, base) -> None:
+        if not isinstance(cur, (int, float)) or not isinstance(base, (int, float)):
+            return
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            violations.append(
+                f"{name} regressed: {cur} vs committed {base} "
+                f"(floor {floor:.3f} at {tolerance:.0%} tolerance)"
+            )
+
+    _check_ratio("total_speedup", current.get("total_speedup"), baseline.get("total_speedup"))
+    baseline_backend = dict(baseline.get("backend", {}))
+    current_backend = dict(current.get("backend", {}))
+    if baseline_backend.get("numpy_available") and current_backend.get("numpy_available"):
+        if current_backend.get("backends_match") is False:
+            violations.append("backend.backends_match is false: backends diverged")
+    elif baseline_backend.get("numpy_available") and not current_backend.get("numpy_available"):
+        violations.append("baseline has numpy backend results but numpy is unavailable here")
+    current_engines = dict(current.get("engines", {}))
+    for engine, baseline_data in dict(baseline.get("engines", {})).items():
+        current_data = current_engines.get(engine)
+        if current_data is None:
+            violations.append(f"engine {engine!r} missing from current results")
+            continue
+        baseline_ratio = baseline_data.get("numpy_speedup")
+        if (
+            isinstance(baseline_ratio, (int, float))
+            and baseline_ratio >= _GATE_MIN_BASELINE_SPEEDUP
+            and "numpy_speedup" in current_data
+        ):
+            _check_ratio(
+                f"engines.{engine}.numpy_speedup",
+                current_data.get("numpy_speedup"),
+                baseline_ratio,
+            )
+    return violations
 
 
 def write_bench_json(result: Dict[str, object], out_dir: "str | Path" = ".") -> Path:
@@ -279,7 +425,9 @@ __all__ = [
     "BENCHMARK_NAMES",
     "QUICK_WORKLOADS",
     "QUICK_BLOCKS",
+    "DEFAULT_REGRESSION_TOLERANCE",
     "bench_experiment",
     "bench_hotloop",
+    "check_against",
     "write_bench_json",
 ]

@@ -1,18 +1,29 @@
-"""Command-line driver: ``python -m repro.bench [--quick]``."""
+"""Command-line driver: ``python -m repro.bench [--quick] [--check-against]``."""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from . import BENCHMARK_NAMES, bench_experiment, bench_hotloop, write_bench_json
+from . import (
+    BENCHMARK_NAMES,
+    DEFAULT_REGRESSION_TOLERANCE,
+    bench_experiment,
+    bench_hotloop,
+    check_against,
+    write_bench_json,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Benchmark the optimized simulation against the frozen "
-        "PR-1 engine and record BENCH_*.json trajectory files.",
+        "PR-1 engine (and the numpy backend against the python one), record "
+        "BENCH_*.json trajectory files, and optionally gate against a "
+        "committed baseline.",
     )
     parser.add_argument(
         "--quick",
@@ -35,6 +46,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also time the experiment with a warm on-disk trace cache",
     )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="PATH",
+        help="bench-regression gate: fail if the fresh hotloop speedup "
+        "ratios drop more than the tolerance below this committed baseline "
+        "(e.g. BENCH_hotloop.json)",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=DEFAULT_REGRESSION_TOLERANCE,
+        help="relative speedup-ratio headroom for --check-against "
+        f"(default: {DEFAULT_REGRESSION_TOLERANCE})",
+    )
     return parser
 
 
@@ -45,6 +71,24 @@ def main(argv=None) -> int:
     if unknown:
         print(f"error: unknown benchmarks {unknown}; known: {BENCHMARK_NAMES}", file=sys.stderr)
         return 2
+    if args.check_against and "hotloop" not in selected:
+        print("error: --check-against needs the hotloop benchmark selected", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.check_against:
+        # Read the baseline before any (multi-minute) timing runs so a bad
+        # path or corrupt file fails fast with the CLI's error contract.
+        try:
+            baseline = json.loads(Path(args.check_against).read_text())
+        except OSError as error:
+            print(f"error: cannot read baseline {args.check_against}: {error}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            print(
+                f"error: baseline {args.check_against} is not valid JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
     status = 0
     for name in selected:
         if name == "experiment":
@@ -67,6 +111,32 @@ def main(argv=None) -> int:
                 f"{engine}={data['speedup']}x" for engine, data in result["engines"].items()
             )
             headline = f"hotloop: total {result['total_speedup']}x ({per_engine})"
+            backend = result.get("backend", {})
+            if backend.get("numpy_available"):
+                per_backend = ", ".join(
+                    f"{engine}={data.get('numpy_speedup', '-')}x"
+                    for engine, data in result["engines"].items()
+                )
+                headline += (
+                    f"\n  numpy backend: total {backend['total_numpy_speedup']}x "
+                    f"({per_backend}), backends_match={backend['backends_match']}"
+                )
+                if not backend["backends_match"]:
+                    status = 1
+            if baseline is not None:
+                violations = check_against(
+                    result, baseline, tolerance=args.regression_tolerance
+                )
+                if violations:
+                    status = 1
+                    print("bench-regression gate FAILED:", file=sys.stderr)
+                    for violation in violations:
+                        print(f"  - {violation}", file=sys.stderr)
+                else:
+                    print(
+                        f"bench-regression gate passed vs {args.check_against} "
+                        f"(tolerance {args.regression_tolerance:.0%})"
+                    )
         path = write_bench_json(result, args.out)
         print(headline)
         print(f"  -> {path}")

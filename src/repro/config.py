@@ -44,6 +44,16 @@ MIN_MESH_TILES = 16
 #: has too few sets to be a meaningful cache at any associativity).
 SCALED_LLC_FLOOR_BYTES = 4 * 1024
 
+#: Environment variable selecting the simulation backend for every driver
+#: (``experiments``, ``sweeps``, ``bench``) when ``--backend`` is not given.
+#: Backends change only execution strategy, never results: reports are
+#: byte-identical across backends (see :mod:`repro.sim.backends`).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Backend used when neither an explicit argument nor the environment
+#: variable selects one.
+DEFAULT_BACKEND = "python"
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:

@@ -23,3 +23,7 @@ class PrefetcherError(ReproError):
 
 class StorageError(ReproError):
     """History-buffer / index-table storage invariants were violated."""
+
+
+class BackendError(ReproError):
+    """A simulation backend is unknown or unavailable in this environment."""

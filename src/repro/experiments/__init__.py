@@ -251,6 +251,7 @@ def run_experiment(
     llc_kb_per_core: Optional[int] = None,
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Run the prefetcher comparison and return a report.
 
@@ -263,8 +264,11 @@ def run_experiment(
     paper-scale LLC slice size (the Section 5.4 axis).  ``workers > 1``
     fans the (workload, engine) cells out over a process pool;
     ``trace_cache`` names a directory where generated traces are shared
-    between engines, processes and runs.  The report is bit-identical for
-    every (workers, trace_cache) combination.
+    between engines, processes and runs.  ``backend`` selects the
+    simulation backend (``python`` / ``numpy``; default ``REPRO_BACKEND``
+    or ``python``).  The report is bit-identical for every (workers,
+    trace_cache, backend) combination, which is why none of the three
+    appear in the report params.
     """
     if llc_kb_per_core is not None and llc_kb_per_core < 1:
         raise ConfigurationError("llc_kb_per_core must be at least 1 KB per core")
@@ -288,6 +292,7 @@ def run_experiment(
                 blocks_per_core=blocks_per_core,
                 history_entries=history_entries,
                 llc_bytes_per_core=llc_bytes,
+                backend=backend,
             )
             cells[(name, engine)] = cell
             order.append(cell)
@@ -323,6 +328,7 @@ def run_consolidated_experiment(
     llc_kb_per_core: Optional[int] = None,
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Run the comparison on consolidated-server mixes (Section 5.5).
 
@@ -359,6 +365,7 @@ def run_consolidated_experiment(
                 history_entries=history_entries,
                 consolidation=mix_names,
                 llc_bytes_per_core=llc_bytes,
+                backend=backend,
             )
             cells[(label, engine)] = cell
             order.append(cell)

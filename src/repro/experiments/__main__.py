@@ -55,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale LLC KB per core override (default: 512)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="simulation backend: python or numpy "
+        "(default: $REPRO_BACKEND or python); results are identical",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -97,6 +104,7 @@ def main(argv=None) -> int:
             llc_kb_per_core=args.llc_kb,
             workers=args.workers,
             trace_cache=args.trace_cache,
+            backend=args.backend,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -72,6 +72,11 @@ class CellSpec:
     consolidation: Tuple[str, ...] = ()
     #: Paper-scale LLC slice size override (None = 512 KB per core).
     llc_bytes_per_core: Optional[int] = None
+    #: Simulation backend name (None = ``REPRO_BACKEND`` or ``python``).
+    #: Execution strategy only — results are byte-identical across backends,
+    #: so the backend is deliberately *not* part of report params or trace
+    #: cache keys.
+    backend: Optional[str] = None
 
 
 def system_for(
@@ -197,7 +202,13 @@ def run_cell(cell: CellSpec, trace_cache_dir: Optional[str] = None) -> Simulatio
     """Simulate one cell from scratch (fresh caches, buffers, prefetcher)."""
     sys_config = system_for_cell(cell)
     trace_set = trace_set_for(cell, trace_cache_dir)
-    return simulate(trace_set, sys_config, cell.engine, **_engine_kwargs(cell, sys_config))
+    return simulate(
+        trace_set,
+        sys_config,
+        cell.engine,
+        backend=cell.backend,
+        **_engine_kwargs(cell, sys_config),
+    )
 
 
 def _execute_cell(args: Tuple[CellSpec, Optional[str]]) -> SimulationResult:

@@ -13,6 +13,13 @@ The subsystem has three layers:
   per-core miss counts into IPC.
 """
 
+from .backends import (
+    Backend,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend_name,
+)
 from .cache import PrefetchBuffer, SetAssociativeCache
 from .engine import CoreResult, SimulationEngine, SimulationResult, simulate
 from .llc import LLCStats, SharedLLC
@@ -31,6 +38,11 @@ from .prefetchers import (
 from .timing import CoreTiming, aggregate_ipc, core_timing, system_timing, weighted_speedup
 
 __all__ = [
+    "Backend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "resolve_backend_name",
     "SetAssociativeCache",
     "PrefetchBuffer",
     "SharedLLC",

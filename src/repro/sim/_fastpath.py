@@ -37,6 +37,11 @@ the generic loop and the frozen PR-1 reference in :mod:`repro.sim._legacy`
 (which predates the LLC model, so the two classification counters are pinned
 against the generic loop instead).  Any semantic change here that is not
 mirrored there is a bug.
+
+These loops are the ``python`` backend of :mod:`repro.sim.backends` — the
+reference implementation every other backend (e.g. the vectorized
+``numpy`` one) is pinned against, and the exact fallback those backends
+use where their assumptions do not hold.
 """
 
 from __future__ import annotations

@@ -1,0 +1,50 @@
+"""Pluggable execution backends for the simulation kernel.
+
+The simulation *semantics* live in :mod:`repro.sim.prefetchers`,
+:mod:`repro.sim.cache` and :mod:`repro.sim.llc`; a backend is purely an
+execution strategy for replaying the traces through them.  Two ship here:
+
+* ``python`` — the per-family inlined CPython loops of
+  :mod:`repro.sim._fastpath` (the reference implementation);
+* ``numpy`` — batch-vectorized array passes for the state-private engine
+  families (baseline, next-line, PIF), falling back per-event — and, for
+  SHIFT's shared-history round-robin, entirely — to the Python loops.
+
+Backends never change results: every counter, the prefetcher's mutable
+state, the prefetch-buffer contents and the LLC statistics are exactly
+those of the reference round-robin loop, so experiment reports are
+byte-identical across backends (``tests/test_backends.py`` pins this).
+Selection is ``--backend`` / ``backend=`` > ``REPRO_BACKEND`` > ``python``.
+"""
+
+from .base import (
+    Backend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from .base import _missing_module_reason
+from .python_backend import PythonBackend
+
+register_backend("python", PythonBackend)
+
+
+def _numpy_backend() -> Backend:
+    from .numpy_backend import NumPyBackend
+
+    return NumPyBackend()
+
+
+register_backend("numpy", _numpy_backend, _missing_module_reason("numpy"))
+
+__all__ = [
+    "Backend",
+    "PythonBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

@@ -1,0 +1,1271 @@
+"""NumPy-vectorized simulation backend.
+
+The key structural facts this backend exploits, each of which preserves
+*exact* equality with the Python reference loops:
+
+* **L1-I evolution is engine-independent.**  Every engine family handles a
+  demand access the same way: LRU-touch on a hit, fill-at-MRU otherwise
+  (prefetched blocks are promoted into the cache on first use).  The hit/miss
+  outcome of every access is therefore a pure function of the address stream,
+  and for the 2-way L1-I of Table I it has a closed form — a set's content
+  after any access is ``{last address, last differing address}`` — that
+  vectorizes as grouped shift/forward-fill passes (:func:`_lane_arrays`).
+* **Spatial compaction is trace-pure.**  The PIF compactor's record stream
+  depends only on the addresses, so region boundaries are found by a
+  vectorized fixpoint (:func:`_compactor_records`) and the region masks by
+  one ``bitwise_or.reduceat`` pass.
+* **The next-line buffer decouples per block.**  While the FIFO prefetch
+  buffer never overflows (true for every suite workload), each block
+  address evolves independently: it is inserted by the first eligible
+  prefetch since its last consumption and removed by the next non-hit
+  access to it.  That turns the whole engine into sorted-array passes
+  over all lanes at once (:func:`_solve_next_line`).  The occupancy
+  timeline is reconstructed and checked afterwards; a run that *would*
+  overflow is discarded untouched and re-executed through the Python
+  loops.
+* **LLC outcomes factor per set.**  The shared LLC's round-robin access
+  order only matters within a set, and a set holding no more distinct
+  blocks than it has ways can never evict, so its outcomes reduce to
+  first-occurrence detection — fully vectorized, including the final MRU
+  stacks.  Only events mapping to *contended* sets (and any run with
+  pinned history blocks) replay through an exact per-event LRU pass
+  (:func:`_replay_llc`).  Classification and bank counters are order-free
+  aggregations either way.
+
+What stays per-event: PIF's stream machinery (index lookups, stream
+dispatch and the per-block owner/buffer bookkeeping) is feedback-coupled
+through the prefetch buffer, so it runs as an event loop over the non-hit
+accesses — but on top of the precomputed hit flags, record stream and L1
+contents, which removes the per-access cache and compactor work.
+
+Because every one of these computations is a deterministic pure function
+of (trace, geometry, engine configuration), the backend memoizes them
+across runs keyed by trace identity: the per-lane arrays and containment
+tables are shared by all four engine families of an experiment row, and
+the solved next-line timelines and fresh-state PIF lane solutions are
+replayed onto each run's fresh objects (sweeps that revisit a trace at a
+different LLC point hit these directly).  Per-run parameters — the
+in-flight window, buffer capacity, the LLC itself — are applied after the
+cached pure core, so results are identical whether a run hits or misses.
+
+Fallbacks (always exact, never approximate): SHIFT and consolidated SHIFT
+serialize on their shared history round-robin and custom prefetchers on
+their ``on_access`` hook, so they run through the Python backend, as does
+any lane with an L1 associativity other than 1 or 2, negative block
+addresses, a pre-populated prefetch buffer, or a next-line run whose
+buffer would overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..prefetchers import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    PIFPrefetcher,
+    Prefetcher,
+    _expand_offsets,
+    _Stream,
+)
+from .base import Backend
+from .python_backend import PythonBackend
+
+#: Boundary-fixpoint iteration cap; the exact Python scan takes over beyond
+#: it (each iteration resolves one more missed boundary per segment, so only
+#: adversarial traces — long gently-sloping runs — get anywhere near this).
+_MAX_FIXPOINT_ITERS = 64
+
+
+class _Unsupported(Exception):
+    """Raised before any mutation when a lane needs the Python loops."""
+
+
+#: Cross-run memo of per-lane trace facts.  Everything in a _LaneArrays is a
+#: pure function of (addresses, L1 geometry) and is engine-independent, so
+#: the four engines of one experiment row — and repeated bench runs — share
+#: one precompute.  Keys are list identities; entries hold a strong
+#: reference to the list both to validate the identity and to prevent id
+#: reuse.  Traces are treated as immutable everywhere in the library.
+_ARRAY_CACHE: "Dict[Tuple[int, int, int], Tuple[List[int], _LaneArrays]]" = {}
+_ARRAY_CACHE_MAX = 64
+
+#: Same idea for the PIF compactor's record stream (trace-pure for a fresh
+#: compactor), keyed by (trace identity, region size).
+_RECORD_CACHE: "Dict[Tuple[int, int], Tuple[List[int], tuple]]" = {}
+_RECORD_CACHE_MAX = 32
+
+
+def _cache_put(cache: Dict, limit: int, key, value) -> None:
+    if len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+class _LaneArrays:
+    """Vectorized per-lane trace facts (all pure functions of the trace)."""
+
+    __slots__ = ("a", "n", "setidx", "l1_hit", "other_after", "order", "num_sets")
+
+    def __init__(self, addresses: List[int], num_sets: int, assoc: int) -> None:
+        if assoc > 2:
+            raise _Unsupported("L1 associativity above 2 has no closed form")
+        a = np.asarray(addresses, dtype=np.int64)
+        n = a.size
+        if n and int(a.min()) < 0:
+            raise _Unsupported("negative block addresses break the -1 sentinels")
+        setidx = a % num_sets
+        order = np.argsort(setidx, kind="stable")
+        prev_sorted = np.full(n, -1, dtype=np.int64)
+        if n > 1:
+            same = setidx[order][1:] == setidx[order][:-1]
+            prev_sorted[1:][same] = order[:-1][same]
+        prev = np.empty(n, dtype=np.int64)
+        prev[order] = prev_sorted
+        prev_clip = np.maximum(prev, 0)
+        prevaddr = np.where(prev >= 0, a[prev_clip], -1)
+        if assoc == 1:
+            other_after = np.full(n, -1, dtype=np.int64)
+            l1_hit = (prev >= 0) & (a == prevaddr)
+        else:
+            # A 2-way set's co-resident after access j is the previous
+            # address when it differs from a[j], else it carries: a grouped
+            # forward fill (safe globally because every group's first
+            # element has prevaddr == -1 != a and restarts the fill).
+            pa_sorted = prevaddr[order]
+            cond = pa_sorted != a[order]
+            filled = np.maximum.accumulate(np.where(cond, np.arange(n), -1))
+            other_after = np.empty(n, dtype=np.int64)
+            other_after[order] = pa_sorted[filled] if n else pa_sorted
+            other_prev = np.where(prev >= 0, other_after[prev_clip], -1)
+            l1_hit = (prev >= 0) & ((a == prevaddr) | (a == other_prev))
+        self.a = a
+        self.n = n
+        self.setidx = setidx
+        self.l1_hit = l1_hit
+        self.other_after = other_after
+        self.order = order
+        self.num_sets = num_sets
+
+    def last_in_set_at(self, targets: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Index of the last access at-or-before ``times`` touching each
+        target block's set, or -1 (vectorized containment support)."""
+        S = self.num_sets
+        tset = targets % S
+        out = np.full(targets.size, -1, dtype=np.int64)
+        sorted_sets = self.setidx[self.order]
+        set_range = np.arange(S)
+        starts = np.searchsorted(sorted_sets, set_range, side="left")
+        ends = np.searchsorted(sorted_sets, set_range, side="right")
+        qorder = np.argsort(tset, kind="stable")
+        qsets = tset[qorder]
+        qstarts = np.searchsorted(qsets, set_range, side="left")
+        qends = np.searchsorted(qsets, set_range, side="right")
+        for s in range(S):
+            q0, q1 = qstarts[s], qends[s]
+            if q0 == q1:
+                continue
+            occ = self.order[starts[s] : ends[s]]
+            sel = qorder[q0:q1]
+            pos = np.searchsorted(occ, times[sel], side="right") - 1
+            out[sel] = np.where(pos >= 0, occ[np.maximum(pos, 0)], -1)
+        return out
+
+    def contains_at(self, targets: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Whether each target block is L1-resident just after ``times``."""
+        j = self.last_in_set_at(targets, times)
+        jc = np.maximum(j, 0)
+        return (j >= 0) & ((self.a[jc] == targets) | (self.other_after[jc] == targets))
+
+
+def _lane_arrays_for(lanes) -> List[_LaneArrays]:
+    """Precompute every lane (pure, memoized) before anything is mutated."""
+    out = []
+    for _core_id, addresses, cache, _buffer, _stats in lanes:
+        key = (id(addresses), cache._num_sets, cache._associativity)
+        entry = _ARRAY_CACHE.get(key)
+        if entry is not None and entry[0] is addresses:
+            out.append(entry[1])
+            continue
+        arrays = _LaneArrays(addresses, cache._num_sets, cache._associativity)
+        _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, key, (addresses, arrays))
+        out.append(arrays)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared LLC replay
+
+
+def _replay_llc(llc, per_lane) -> None:
+    """Replay per-lane LLC event arrays; equals ``_fastpath._replay_llc``.
+
+    ``per_lane`` holds ``(stats, steps, addrs, kinds, seq)`` per lane in
+    core-id order.  ``kinds`` is a demand-flag bool array (None = all
+    demand); ``seq`` orders events within one (lane, step) — a demand miss
+    carries -1 so it precedes the prefetches its access triggered (None
+    when a lane never has two events in a step).  Events are sorted once
+    into the merged round-robin order (step-major, lane, seq) by a single
+    unique-key argsort; hit/miss outcomes come from a flat python LRU pass
+    and everything else is an order-free aggregation.
+    """
+    if llc is None or not per_lane:
+        return
+    counts = [entry[1].size for entry in per_lane]
+    if sum(counts) == 0:
+        return
+    steps = np.concatenate([entry[1] for entry in per_lane])
+    addrs = np.concatenate([entry[2] for entry in per_lane])
+    kinds = np.concatenate(
+        [
+            entry[3] if entry[3] is not None else np.ones(count, dtype=bool)
+            for entry, count in zip(per_lane, counts)
+        ]
+    )
+    seqs = np.concatenate(
+        [
+            entry[4] if entry[4] is not None else np.zeros(count, dtype=np.int64)
+            for entry, count in zip(per_lane, counts)
+        ]
+    )
+    lane_ids = np.repeat(np.arange(len(per_lane)), counts)
+    _replay_llc_flat(
+        llc, [entry[0] for entry in per_lane], steps, addrs, kinds, lane_ids, seqs
+    )
+
+
+def _replay_llc_flat(llc, stats_list, steps, addrs, kinds, lane_ids, seqs) -> None:
+    """Flat-array form of :func:`_replay_llc` (events in any order)."""
+    total = steps.size
+    if total == 0:
+        return
+    num_lanes = len(stats_list)
+    seq_span = int(seqs.max()) + 2
+    merged_key = (steps * num_lanes + lane_ids) * seq_span + (seqs + 1)
+    num_sets = llc._num_sets
+    sidx = addrs % num_sets
+    bank_counts = np.bincount(sidx % llc._banks, minlength=llc._banks)
+    for bank, count in enumerate(bank_counts):
+        llc.bank_accesses[bank] += int(count)
+    if llc._pinned:
+        # Pinned history blocks change per-set capacity; replay everything
+        # through the exact loop in merged order (SHIFT-only, rare here).
+        order = np.argsort(merged_key)
+        hit = _llc_set_loop(llc, addrs[order].tolist(), sidx[order].tolist())
+        _aggregate_llc(llc, stats_list, hit, kinds[order], lane_ids[order])
+        return
+    # Group events into (set, address) pairs.  A set holding at most
+    # `associativity` distinct addresses can never evict, so its outcomes
+    # are pure: the merged-order-first event of each pair misses, the rest
+    # hit, and the final MRU order is by last occurrence.  Only events in
+    # *contended* sets (more distinct addresses than ways) need the exact
+    # LRU loop — per-set independence makes the split sound.
+    assoc = llc._associativity
+    pair_key = sidx * np.int64(int(addrs.max()) + 1) + addrs
+    order2 = np.argsort(pair_key)
+    sorted_pairs = pair_key[order2]
+    run_start = np.empty(total, dtype=bool)
+    run_start[0] = True
+    run_start[1:] = sorted_pairs[1:] != sorted_pairs[:-1]
+    runs = np.flatnonzero(run_start)
+    segid = np.cumsum(run_start) - 1
+    pair_set = sidx[order2][runs]
+    contended_sets = np.bincount(pair_set, minlength=num_sets) > assoc
+    mk2 = merged_key[order2]
+    first_mk = np.minimum.reduceat(mk2, runs)
+    hit2 = mk2 != first_mk[segid]
+    pair_contended = contended_sets[pair_set]
+    if not pair_contended.any():
+        _aggregate_llc(llc, stats_list, hit2, kinds[order2], lane_ids[order2])
+        _write_llc_state(llc, mk2, runs, pair_set, addrs[order2][runs], None)
+        return
+    elem_contended = pair_contended[segid]
+    vec = ~elem_contended
+    _aggregate_llc(llc, stats_list, hit2[vec], kinds[order2][vec], lane_ids[order2][vec])
+    _write_llc_state(llc, mk2, runs, pair_set, addrs[order2][runs], ~pair_contended)
+    contended_events = contended_sets[sidx]
+    corder = np.argsort(merged_key[contended_events])
+    caddr = addrs[contended_events][corder]
+    chit = _llc_set_loop(llc, caddr.tolist(), (caddr % num_sets).tolist())
+    _aggregate_llc(
+        llc,
+        stats_list,
+        chit,
+        kinds[contended_events][corder],
+        lane_ids[contended_events][corder],
+    )
+
+
+def _aggregate_llc(llc, stats_list, hit, kind, lane) -> None:
+    """Order-free counter rollup for one (sub)set of replayed events."""
+    demand_hit = kind & hit
+    demand_miss = kind & ~hit
+    llc.demand_hits += int(np.count_nonzero(demand_hit))
+    llc.demand_misses += int(np.count_nonzero(demand_miss))
+    llc.prefetch_hits += int(np.count_nonzero(~kind & hit))
+    llc.prefetch_misses += int(np.count_nonzero(~kind & ~hit))
+    num_lanes = len(stats_list)
+    lane_hits = np.bincount(lane[demand_hit], minlength=num_lanes)
+    lane_misses = np.bincount(lane[demand_miss], minlength=num_lanes)
+    for lane_index, stats in enumerate(stats_list):
+        stats.llc_hits += int(lane_hits[lane_index])
+        stats.memory_misses += int(lane_misses[lane_index])
+
+
+def _write_llc_state(llc, mk2, runs, pair_set, pair_addr, pair_mask) -> None:
+    """Materialize uncontended sets' final LRU stacks (MRU-first = last
+    occurrence in merged order, most recent first)."""
+    last_mk = np.maximum.reduceat(mk2, runs)
+    if pair_mask is not None:
+        pair_set = pair_set[pair_mask]
+        pair_addr = pair_addr[pair_mask]
+        last_mk = last_mk[pair_mask]
+    state_order = np.lexsort((-last_mk, pair_set))
+    set_list = pair_set[state_order].tolist()
+    addr_list = pair_addr[state_order].tolist()
+    sets = llc._sets
+    num_pairs = len(set_list)
+    start = 0
+    while start < num_pairs:
+        set_index = set_list[start]
+        end = start + 1
+        while end < num_pairs and set_list[end] == set_index:
+            end += 1
+        sets[set_index] = addr_list[start:end]
+        start = end
+
+
+def _llc_set_loop(llc, addr_list: List[int], sidx_list: List[int]) -> np.ndarray:
+    """Flat LLC LRU replay in merged order; returns per-event hit flags."""
+    sets = llc._sets
+    pinned = llc._pinned
+    out: List[bool] = []
+    append = out.append
+    if pinned:
+        avail = llc._avail
+        for addr, set_index in zip(addr_list, sidx_list):
+            if addr in pinned:
+                append(True)
+                continue
+            lines = sets[set_index]
+            if addr in lines:
+                if lines[0] != addr:
+                    lines.remove(addr)
+                    lines.insert(0, addr)
+                append(True)
+            else:
+                lines.insert(0, addr)
+                if len(lines) > avail[set_index]:
+                    lines.pop()
+                append(False)
+    else:
+        assoc = llc._associativity
+        for addr, set_index in zip(addr_list, sidx_list):
+            lines = sets[set_index]
+            if addr in lines:
+                if lines[0] != addr:
+                    lines.remove(addr)
+                    lines.insert(0, addr)
+                append(True)
+            else:
+                lines.insert(0, addr)
+                if len(lines) > assoc:
+                    lines.pop()
+                append(False)
+    return np.fromiter(out, dtype=bool, count=len(out))
+
+
+# ---------------------------------------------------------------------------
+# Baseline (no prefetcher)
+
+
+def _run_baseline(lanes, llc) -> None:
+    arrays = _lane_arrays_for(lanes)
+    per_lane = []
+    for (_core_id, _addresses, _cache, _buffer, stats), arr in zip(lanes, arrays):
+        hits = int(np.count_nonzero(arr.l1_hit))
+        stats.demand_hits = hits
+        stats.misses = arr.n - hits
+        if llc is not None:
+            miss_steps = np.flatnonzero(~arr.l1_hit)
+            per_lane.append((stats, miss_steps, arr.a[miss_steps], None, None))
+    _replay_llc(llc, per_lane)
+
+
+# ---------------------------------------------------------------------------
+# Next-line
+
+
+def _sort_rank(keys) -> np.ndarray:
+    """Argsort by lexicographic (major-first) non-negative integer keys.
+
+    Packs the keys into one int64 composite when the value ranges fit
+    (unique composites, so the fast default sort applies); falls back to
+    ``np.lexsort`` otherwise.
+    """
+    combo = keys[0].astype(np.int64, copy=True)
+    limit = int(combo.max()) + 1 if combo.size else 1
+    for key in keys[1:]:
+        span = int(key.max()) + 1 if key.size else 1
+        limit *= span
+        if limit >= 2**62:
+            return np.lexsort(tuple(reversed(keys)))
+        combo *= span
+        combo += key
+    return np.argsort(combo)
+
+
+#: Cell budget for the dense (lane, time, set) last-access table; above it
+#: the per-lane searchsorted path is used instead.
+_DENSE_TABLE_CELLS = 16_000_000
+
+#: Cross-run memo of dense containment tables (trace-pure, ~10 MB each).
+_TABLE_CACHE: Dict[tuple, tuple] = {}
+_TABLE_CACHE_MAX = 4
+
+
+def _dense_table(arrays):
+    """The cached (lane, time, set) last-access table plus padded per-lane
+    address/co-resident matrices, or None when over the cell budget."""
+    num_lanes = len(arrays)
+    max_n = max(arr.n for arr in arrays)
+    num_sets = arrays[0].num_sets
+    if (
+        any(arr.num_sets != num_sets for arr in arrays)
+        or num_lanes * max_n * num_sets > _DENSE_TABLE_CELLS
+    ):
+        return None
+    key = (tuple(id(arr) for arr in arrays), num_sets)
+    entry = _TABLE_CACHE.get(key)
+    if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
+        return entry[1]
+    table = np.full((num_lanes, max_n, num_sets), -1, dtype=np.int32)
+    lane_sizes = [arr.n for arr in arrays]
+    positions = np.concatenate([np.arange(n) for n in lane_sizes])
+    lane_rep = np.repeat(np.arange(num_lanes), lane_sizes)
+    table[lane_rep, positions, np.concatenate([arr.setidx for arr in arrays])] = positions
+    np.maximum.accumulate(table, axis=1, out=table)
+    lane_addr = np.full((num_lanes, max_n), -1, dtype=np.int64)
+    lane_other = np.full((num_lanes, max_n), -1, dtype=np.int64)
+    for index, arr in enumerate(arrays):
+        lane_addr[index, : arr.n] = arr.a
+        lane_other[index, : arr.n] = arr.other_after
+    value = (num_sets, table, lane_addr, lane_other)
+    _cache_put(_TABLE_CACHE, _TABLE_CACHE_MAX, key, (list(arrays), value))
+    return value
+
+
+def _contains_batch(arrays, lane_of, targets, times) -> np.ndarray:
+    """L1 residency of ``targets`` just after access ``times`` on their lanes.
+
+    Dense path: one (lane, time, set) last-access table built with a single
+    ``maximum.accumulate`` pass serves every query with one gather.
+    """
+    dense = _dense_table(arrays)
+    if dense is not None:
+        num_sets, table, lane_addr, lane_other = dense
+        last = table[lane_of, times, targets % num_sets].astype(np.int64)
+        last_c = np.maximum(last, 0)
+        return (last >= 0) & (
+            (lane_addr[lane_of, last_c] == targets) | (lane_other[lane_of, last_c] == targets)
+        )
+    out = np.empty(targets.size, dtype=bool)
+    for index, arr in enumerate(arrays):
+        mask = lane_of == index
+        if mask.any():
+            out[mask] = arr.contains_at(targets[mask], times[mask])
+    return out
+
+
+#: Cross-run memo of solved next-line timelines (pure in trace + degree).
+_NEXT_LINE_CACHE: Dict[tuple, tuple] = {}
+_NEXT_LINE_CACHE_MAX = 4
+
+
+class _NextLineSolution:
+    """The trace-pure core of a next-line run: which non-hit accesses were
+    served by an in-flight prefetch (and when it was issued), which
+    prefetches were actually inserted, the buffer's occupancy peaks, the
+    final buffer contents and the LLC event stream.  Everything that
+    depends on per-run parameters — the in-flight window classification and
+    the capacity check — is applied per run in :func:`_run_next_line`."""
+
+    __slots__ = (
+        "cons_counts",
+        "served",
+        "stamp",
+        "cons_step",
+        "cons_lane",
+        "lane_miss",
+        "lane_issued",
+        "peaks",
+        "peak_lanes",
+        "leftover",
+        "ev_step",
+        "ev_addr",
+        "ev_lane",
+        "ev_kind",
+        "ev_seq",
+    )
+
+
+def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
+    num_lanes = len(arrays)
+    solution = _NextLineSolution()
+    nonhits = [np.flatnonzero(~arr.l1_hit) for arr in arrays]
+    cons_counts = [nh.size for nh in nonhits]
+    total_cons = sum(cons_counts)
+    solution.cons_counts = cons_counts
+    if total_cons == 0:
+        empty = np.empty(0, dtype=np.int64)
+        solution.served = np.empty(0, dtype=bool)
+        solution.stamp = solution.cons_step = solution.cons_lane = empty
+        solution.lane_miss = solution.lane_issued = np.zeros(num_lanes, dtype=np.int64)
+        solution.peaks = solution.peak_lanes = empty
+        solution.leftover = []
+        solution.ev_step = solution.ev_addr = solution.ev_lane = solution.ev_seq = empty
+        solution.ev_kind = np.empty(0, dtype=bool)
+        return solution
+    cons_t = np.concatenate(nonhits)
+    cons_x = np.concatenate([arr.a[nh] for arr, nh in zip(arrays, nonhits)])
+    cons_lane = np.repeat(np.arange(num_lanes), cons_counts)
+    # Prefetch attempts: every non-hit access tries blocks x+1 .. x+degree;
+    # an attempt is eligible unless the block is already L1-resident.  The
+    # attempt arrays inherit (lane, t, delta) order from the consumers.
+    deltas = np.arange(1, degree + 1, dtype=np.int64)
+    attempt_y = (cons_x[:, None] + deltas[None, :]).reshape(-1)
+    attempt_t = np.repeat(cons_t, degree)
+    attempt_lane = np.repeat(cons_lane, degree)
+    attempt_delta = np.tile(deltas, total_cons)
+    eligible = ~_contains_batch(arrays, attempt_lane, attempt_y, attempt_t)
+    prod_y = attempt_y[eligible]
+    prod_t = attempt_t[eligible]
+    prod_lane = attempt_lane[eligible]
+    prod_delta = attempt_delta[eligible]
+    # Per-(lane, block) timelines: consumers (non-hit accesses to the
+    # block) and eligible producers, time-ordered.  Every consumer pops,
+    # and between two consumers only the first producer actually inserts
+    # (re-prefetches of an in-flight block are no-ops), so a consumer is
+    # served exactly by the first producer in its epoch (= # consumers
+    # before it in the block's timeline).
+    num_prod = prod_y.size
+    ent_lane = np.concatenate([cons_lane, prod_lane])
+    ent_y = np.concatenate([cons_x, prod_y])
+    ent_t = np.concatenate([cons_t, prod_t])
+    ent_delta = np.concatenate([np.zeros(total_cons, dtype=np.int64), prod_delta])
+    order = _sort_rank((ent_lane, ent_y, ent_t, ent_delta))
+    g_prod = order >= total_cons
+    group_key = ent_lane[order] * np.int64(int(ent_y.max()) + 1) + ent_y[order]
+    size = order.size
+    group_start = np.empty(size, dtype=bool)
+    group_start[0] = True
+    group_start[1:] = group_key[1:] != group_key[:-1]
+    segid = np.cumsum(group_start) - 1
+    num_segs = int(segid[-1]) + 1
+    is_cons = ~g_prod
+    before = np.cumsum(is_cons) - is_cons  # consumers strictly before, global
+    base = before[np.flatnonzero(group_start)]
+    epoch = before - base[segid]
+    epoch_span = max(int(arr.n) for arr in arrays) + 1
+    if num_segs * epoch_span >= 2**62:
+        raise _Unsupported("trace too large for composite epoch keys")
+    key = segid * np.int64(epoch_span) + epoch
+    prod_pos = np.flatnonzero(g_prod)
+    prod_key = key[prod_pos]
+    first = np.ones(prod_pos.size, dtype=bool)
+    first[1:] = prod_key[1:] != prod_key[:-1]
+    succ_pos = prod_pos[first]
+    succ_key = key[succ_pos]
+    cons_pos = np.flatnonzero(is_cons)
+    orig_cons = order[cons_pos]
+    cons_step = cons_t[orig_cons]
+    if succ_key.size:
+        idx = np.searchsorted(succ_key, key[cons_pos])
+        idx_c = np.minimum(idx, succ_key.size - 1)
+        served = (idx < succ_key.size) & (succ_key[idx_c] == key[cons_pos])
+        stamp = ent_t[order[succ_pos]][idx_c]
+    else:
+        served = np.zeros(cons_pos.size, dtype=bool)
+        stamp = np.zeros(cons_pos.size, dtype=np.int64)
+    solution.served = served
+    solution.stamp = stamp
+    solution.cons_step = cons_step
+    solution.cons_lane = cons_lane[orig_cons]
+    miss = ~served
+    # Map producers back to the original (lane, t, delta)-ordered domain:
+    # buffer ops are then already time-sorted per lane, so the occupancy
+    # reconstruction needs no further sort.
+    served_orig = np.zeros(total_cons, dtype=bool)
+    served_orig[orig_cons] = served
+    succ_orig = np.zeros(num_prod, dtype=bool)
+    succ_orig[order[succ_pos] - total_cons] = True
+    pop_idx = np.flatnonzero(served_orig)
+    ins_idx = np.flatnonzero(succ_orig)
+    if ins_idx.size:
+        # Occupancy peaks only after an insert.  For each insert, the
+        # buffer level is (# earlier-or-equal inserts) - (# earlier pops)
+        # within its lane; pops at the same access precede the insert.
+        t_span = np.int64(epoch_span)
+        prio_span = np.int64(degree + 2)
+        ins_lane = prod_lane[ins_idx]
+        pop_lane = cons_lane[pop_idx]
+        ins_key = (ins_lane * t_span + prod_t[ins_idx]) * prio_span + prod_delta[ins_idx]
+        pop_key = (pop_lane * t_span + cons_t[pop_idx]) * prio_span
+        pops_before = np.searchsorted(pop_key, ins_key)
+        ins_base = np.zeros(num_lanes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ins_lane, minlength=num_lanes), out=ins_base[1:])
+        pop_base = np.zeros(num_lanes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(pop_lane, minlength=num_lanes), out=pop_base[1:])
+        level = (
+            np.arange(ins_key.size) - ins_base[ins_lane] + 1
+        ) - (pops_before - pop_base[ins_lane])
+        lane_starts = np.flatnonzero(
+            np.concatenate([[True], ins_lane[1:] != ins_lane[:-1]])
+        )
+        solution.peaks = np.maximum.reduceat(level, lane_starts)
+        solution.peak_lanes = ins_lane[lane_starts]
+    else:
+        solution.peaks = np.empty(0, dtype=np.int64)
+        solution.peak_lanes = np.empty(0, dtype=np.int64)
+    solution.lane_miss = np.bincount(solution.cons_lane[miss], minlength=num_lanes)
+    solution.lane_issued = np.bincount(prod_lane[ins_idx], minlength=num_lanes)
+    # Blocks still buffered at the end: successful producers in the epoch
+    # after their block's last consumer; original order is insertion order.
+    cons_per_seg = np.bincount(segid[cons_pos], minlength=num_segs)
+    leftover = epoch[succ_pos] == cons_per_seg[segid[succ_pos]]
+    if leftover.any():
+        left_idx = np.sort(order[succ_pos[leftover]] - total_cons)
+        solution.leftover = list(
+            zip(
+                prod_lane[left_idx].tolist(),
+                prod_y[left_idx].tolist(),
+                prod_t[left_idx].tolist(),
+            )
+        )
+    else:
+        solution.leftover = []
+    # LLC events with their within-step recording rank: the demand miss
+    # (seq -1) precedes the prefetches its access triggers (delta order).
+    num_miss = int(np.count_nonzero(miss))
+    solution.ev_step = np.concatenate([cons_step[miss], prod_t[ins_idx]])
+    solution.ev_addr = np.concatenate([cons_x[orig_cons][miss], prod_y[ins_idx]])
+    solution.ev_lane = np.concatenate([solution.cons_lane[miss], prod_lane[ins_idx]])
+    solution.ev_kind = np.concatenate(
+        [np.ones(num_miss, dtype=bool), np.zeros(ins_idx.size, dtype=bool)]
+    )
+    solution.ev_seq = np.concatenate(
+        [np.full(num_miss, -1, dtype=np.int64), prod_delta[ins_idx]]
+    )
+    return solution
+
+
+def _next_line_solution(arrays, degree: int) -> _NextLineSolution:
+    key = (tuple(id(arr) for arr in arrays), degree)
+    entry = _NEXT_LINE_CACHE.get(key)
+    if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
+        return entry[1]
+    solution = _solve_next_line(arrays, degree)
+    _cache_put(_NEXT_LINE_CACHE, _NEXT_LINE_CACHE_MAX, key, (list(arrays), solution))
+    return solution
+
+
+def _run_next_line(lanes, inflight: Dict[int, int], degree: int, llc) -> bool:
+    """Batch-vectorized next-line over all lanes; returns False (with
+    nothing mutated) when any lane's buffer would overflow."""
+    arrays = _lane_arrays_for(lanes)
+    for lane in lanes:
+        if len(lane[3]._blocks):
+            raise _Unsupported("pre-populated prefetch buffer")
+    num_lanes = len(lanes)
+    solution = _next_line_solution(arrays, degree)
+    capacities = np.asarray([lane[3]._capacity for lane in lanes], dtype=np.int64)
+    if solution.peaks.size and (solution.peaks > capacities[solution.peak_lanes]).any():
+        return False
+    inflight_per_lane = np.asarray([inflight[lane[0]] for lane in lanes], dtype=np.int64)
+    timely = solution.served & (
+        (solution.cons_step - solution.stamp) >= inflight_per_lane[solution.cons_lane]
+    )
+    late = solution.served & ~timely
+    lane_timely = np.bincount(solution.cons_lane[timely], minlength=num_lanes)
+    lane_late = np.bincount(solution.cons_lane[late], minlength=num_lanes)
+    for index, (lane, arr) in enumerate(zip(lanes, arrays)):
+        stats = lane[4]
+        stats.demand_hits = arr.n - solution.cons_counts[index]
+        stats.misses = int(solution.lane_miss[index])
+        stats.prefetch_hits = int(lane_timely[index])
+        stats.late_hits = int(lane_late[index])
+        stats.prefetches_issued = int(solution.lane_issued[index])
+        lane[3].evicted_unused = 0
+    buffers = [lane[3]._blocks for lane in lanes]
+    for lane_index, block, issued_at in solution.leftover:
+        buffers[lane_index][block] = issued_at
+    if llc is not None:
+        _replay_llc_flat(
+            llc,
+            [lane[4] for lane in lanes],
+            solution.ev_step,
+            solution.ev_addr,
+            solution.ev_kind,
+            solution.ev_lane,
+            solution.ev_seq,
+        )
+    return True
+
+
+# ---------------------------------------------------------------------------
+# PIF
+
+
+def _compactor_records(
+    a: np.ndarray,
+    region_blocks: int,
+    init_trigger: Optional[int],
+    init_mask: int,
+) -> Tuple[List[int], List[int], List[int], int, int]:
+    """The SpatialCompactor's record stream over ``a``, vectorized.
+
+    Returns ``(positions, triggers, masks, final_trigger, final_mask)``:
+    record ``k`` is emitted while feeding ``a[positions[k]]`` (before the
+    access is otherwise processed), and the final open region is the
+    compactor's post-run state.
+    """
+    if init_trigger is not None:
+        work = np.concatenate([np.asarray([init_trigger], dtype=np.int64), a])
+        shift = 1
+    else:
+        work = a
+        shift = 0
+    n = work.size
+    # Certain boundaries: |delta| >= region size cannot stay in any region.
+    delta = np.diff(work)
+    certain = np.flatnonzero((delta <= -region_blocks) | (delta >= region_blocks)) + 1
+    bounds = np.concatenate([np.zeros(1, dtype=np.int64), certain])
+    arange = np.arange(n)
+    for _ in range(_MAX_FIXPOINT_ITERS):
+        indicator = np.zeros(n, dtype=np.int64)
+        indicator[bounds] = 1
+        seg = np.cumsum(indicator) - 1
+        offsets = work - work[bounds[seg]]
+        violation = (offsets < 0) | (offsets >= region_blocks)
+        violation[bounds] = False
+        vpos = np.flatnonzero(violation)
+        if vpos.size == 0:
+            break
+        # The first violation of each segment is a true boundary; later
+        # positions are re-judged against it next iteration.
+        vseg = seg[vpos]
+        first = np.ones(vpos.size, dtype=bool)
+        first[1:] = vseg[1:] != vseg[:-1]
+        bounds = np.unique(np.concatenate([bounds, vpos[first]]))
+    else:
+        return _compactor_records_python(a, region_blocks, init_trigger, init_mask)
+    bits = np.zeros(n, dtype=np.int64)
+    positive = offsets > 0
+    bits[positive] = np.left_shift(np.int64(1), offsets[positive] - 1)
+    masks = np.bitwise_or.reduceat(bits, bounds)
+    masks[0] |= init_mask
+    rec_pos = (bounds[1:] - shift).tolist()
+    rec_trigger = work[bounds[:-1]].tolist()
+    rec_mask = masks[:-1].tolist()
+    return rec_pos, rec_trigger, rec_mask, int(work[bounds[-1]]), int(masks[-1])
+
+
+def _compactor_records_python(a, region_blocks, init_trigger, init_mask):
+    """Exact scalar scan, for traces where the fixpoint will not converge."""
+    trigger = init_trigger
+    mask = init_mask if init_trigger is not None else 0
+    rec_pos: List[int] = []
+    rec_trigger: List[int] = []
+    rec_mask: List[int] = []
+    for position, address in enumerate(a.tolist()):
+        if trigger is None:
+            trigger = address
+            mask = 0
+            continue
+        offset = address - trigger
+        if 0 <= offset < region_blocks:
+            if offset:
+                mask |= 1 << (offset - 1)
+        else:
+            rec_pos.append(position)
+            rec_trigger.append(trigger)
+            rec_mask.append(mask)
+            trigger = address
+            mask = 0
+    return rec_pos, rec_trigger, rec_mask, trigger, mask
+
+
+def _records_for(lane, arr: _LaneArrays, prefetcher: PIFPrefetcher, region_blocks: int):
+    """Compactor record stream for one lane, memoized for fresh compactors."""
+    core_id, addresses = lane[0], lane[1]
+    compactor = prefetcher._compactors[core_id]
+    fresh = compactor._trigger is None and compactor._mask == 0
+    key = (id(addresses), region_blocks)
+    if fresh:
+        entry = _RECORD_CACHE.get(key)
+        if entry is not None and entry[0] is addresses:
+            return entry[1]
+    records = _compactor_records(arr.a, region_blocks, compactor._trigger, compactor._mask)
+    if fresh:
+        _cache_put(_RECORD_CACHE, _RECORD_CACHE_MAX, key, (addresses, records))
+    return records
+
+
+#: Cross-run memo of solved PIF lanes.  A PIF run from fresh state is a
+#: pure function of (trace, PIF configuration), so the counters, the LLC
+#: event stream and the prefetcher's final state are captured once and
+#: replayed onto the fresh objects of later runs; only the in-flight
+#: classification (stats-only) is applied per run.  Sweeps that revisit a
+#: trace with an unchanged PIF configuration (e.g. the LLC-capacity axis)
+#: hit this directly.
+_PIF_CACHE: Dict[tuple, tuple] = {}
+_PIF_CACHE_MAX = 4
+
+
+class _PIFLaneSolution:
+    """Everything one fresh-state PIF lane run produces."""
+
+    __slots__ = (
+        "misses",
+        "issued",
+        "evicted",
+        "dispatches",
+        "record_reads",
+        "ages",
+        "records",
+        "next_pos",
+        "index_items",
+        "final_trigger",
+        "final_mask",
+        "buffer_items",
+        "streams",
+        "owner_items",
+        "d_steps",
+        "d_addrs",
+        "p_steps",
+        "p_addrs",
+    )
+
+
+def _pif_state_is_fresh(prefetcher: PIFPrefetcher, lanes) -> bool:
+    """True when nothing has touched the prefetcher or the lane buffers."""
+    return (
+        all(h._next_pos == 0 for h in prefetcher._histories)
+        and all(not i._entries for i in prefetcher._indices)
+        and all(c._trigger is None and c._mask == 0 for c in prefetcher._compactors)
+        and all(
+            not s._streams and not s._owner and s.dispatches == 0 and s.record_reads == 0
+            for s in prefetcher._streams
+        )
+        and all(not lane[3]._blocks and lane[3].evicted_unused == 0 for lane in lanes)
+    )
+
+
+def _apply_pif_solution(lane, arr: _LaneArrays, solution: _PIFLaneSolution, prefetcher, inflight_c):
+    """Replay a captured lane solution onto fresh per-run objects."""
+    core_id, _addresses, _cache, buffer, stats = lane
+    engine = prefetcher._streams[core_id]
+    history = prefetcher._histories[core_id]
+    index = prefetcher._indices[core_id]
+    compactor = prefetcher._compactors[core_id]
+    history._records[:] = solution.records
+    history._next_pos = solution.next_pos
+    index._entries.update(solution.index_items)
+    compactor._trigger = solution.final_trigger
+    compactor._mask = solution.final_mask
+    buffer._blocks.update(solution.buffer_items)
+    buffer.evicted_unused = solution.evicted
+    streams = [_Stream(0) for _ in solution.streams]
+    for stream, (next_pos, outstanding) in zip(streams, solution.streams):
+        stream.next_pos = next_pos
+        stream.outstanding = set(outstanding)
+    engine._streams.extend(streams)
+    engine._owner.update(
+        (block, streams[slot]) for block, slot in solution.owner_items
+    )
+    engine.dispatches = solution.dispatches
+    engine.record_reads = solution.record_reads
+    buffer_hits = solution.ages.size
+    timely = int(np.count_nonzero(solution.ages >= inflight_c))
+    stats.demand_hits = arr.n - solution.misses - buffer_hits
+    stats.prefetch_hits = timely
+    stats.late_hits = buffer_hits - timely
+    stats.misses = solution.misses
+    stats.prefetches_issued = solution.issued
+
+
+def _pif_events_entry(lane, num_demand, num_pf, steps, addrs):
+    return (
+        lane[4],
+        steps,
+        addrs,
+        np.concatenate([np.ones(num_demand, dtype=bool), np.zeros(num_pf, dtype=bool)]),
+        np.concatenate(
+            [np.full(num_demand, -1, dtype=np.int64), np.arange(num_pf, dtype=np.int64)]
+        ),
+    )
+
+
+def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) -> None:
+    config = prefetcher._config
+    region_blocks = config.spatial_region.region_blocks
+    if region_blocks > 62:
+        raise _Unsupported("region masks beyond int64 need the Python loops")
+    arrays = _lane_arrays_for(lanes)
+    fresh = _pif_state_is_fresh(prefetcher, lanes)
+    cache_key = (
+        tuple(id(arr) for arr in arrays),
+        tuple(lane[0] for lane in lanes),
+        tuple(lane[3]._capacity for lane in lanes),
+        region_blocks,
+        config.stream_buffer.num_streams,
+        config.stream_buffer.lookahead_records,
+        config.stream_buffer.capacity_records,
+        config.history_entries,
+        config.index_entries,
+    )
+    per_lane = []
+    if fresh:
+        entry = _PIF_CACHE.get(cache_key)
+        if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
+            for lane, arr, solution in zip(lanes, arrays, entry[1]):
+                _apply_pif_solution(lane, arr, solution, prefetcher, inflight[lane[0]])
+                if llc is not None:
+                    per_lane.append(
+                        _pif_events_entry(
+                            lane,
+                            solution.d_steps.size,
+                            solution.p_steps.size,
+                            np.concatenate([solution.d_steps, solution.p_steps]),
+                            np.concatenate([solution.d_addrs, solution.p_addrs]),
+                        )
+                    )
+            _replay_llc(llc, per_lane)
+            return
+    all_records = [
+        _records_for(lane, arr, prefetcher, region_blocks)
+        for lane, arr in zip(lanes, arrays)
+    ]
+    offsets_table = _expand_offsets(region_blocks)
+    num_streams = config.stream_buffer.num_streams
+    lookahead = config.stream_buffer.lookahead_records
+    outstanding_cap = config.stream_buffer.capacity_records * region_blocks
+    solutions = []
+    for lane, arr, records in zip(lanes, arrays, all_records):
+        solution, events = _pif_lane(
+            lane,
+            arr,
+            records,
+            prefetcher,
+            inflight[lane[0]],
+            llc is not None or fresh,
+            offsets_table,
+            num_streams,
+            lookahead,
+            outstanding_cap,
+            capture=fresh,
+        )
+        solutions.append(solution)
+        if llc is not None:
+            demand_steps, demand_addrs, pf_steps, pf_addrs = events
+            per_lane.append(
+                _pif_events_entry(
+                    lane,
+                    len(demand_steps),
+                    len(pf_steps),
+                    np.asarray(demand_steps + pf_steps, dtype=np.int64),
+                    np.asarray(demand_addrs + pf_addrs, dtype=np.int64),
+                )
+            )
+    if fresh:
+        _cache_put(_PIF_CACHE, _PIF_CACHE_MAX, cache_key, (list(arrays), solutions))
+    _replay_llc(llc, per_lane)
+
+
+def _pif_lane(
+    lane,
+    arr: _LaneArrays,
+    compactor_records,
+    prefetcher: PIFPrefetcher,
+    inflight_c: int,
+    track_llc: bool,
+    offsets_table,
+    num_streams: int,
+    lookahead: int,
+    outstanding_cap: int,
+    capture: bool = False,
+):
+    """Event loop over one PIF core: exact mirror of the Python fast path,
+    with the per-access cache and compactor work replaced by the
+    precomputed hit flags, record stream and 2-way set contents."""
+    core_id, _addresses, cache, buffer, stats = lane
+    engine = prefetcher._streams[core_id]
+    history = prefetcher._histories[core_id]
+    index = prefetcher._indices[core_id]
+    compactor = prefetcher._compactors[core_id]
+    records = history._records
+    hist_cap = history._capacity
+    next_pos = history._next_pos
+    index_entries = index._entries
+    index_capacity = index._capacity
+    index_get = index_entries.get
+    index_move_to_end = index_entries.move_to_end
+    index_popitem = index_entries.popitem
+    streams = engine._streams
+    owner = engine._owner
+    owner_pop = owner.pop
+    dispatches = engine.dispatches
+    record_reads = engine.record_reads
+    bmap = buffer._blocks
+    bcap = buffer._capacity
+    bpop = bmap.pop
+    bpopitem = bmap.popitem
+    blen = len(bmap)
+    num_sets = cache._num_sets
+    # L1 set contents after the latest fill: {content_m[s], content_o[s]}.
+    # Hits never change a 2-way set's *membership*, so updates happen only
+    # on non-hit accesses, from the precomputed co-resident array.
+    content_m = [-1] * num_sets
+    content_o = [-1] * num_sets
+    a_list = arr.a.tolist()
+    hit_list = arr.l1_hit.tolist()
+    other_list = arr.other_after.tolist()
+    set_list = arr.setidx.tolist()
+    rec_pos, rec_trigger, rec_mask, final_trigger, final_mask = compactor_records
+    rec_count = len(rec_pos)
+    rec_index = 0
+    next_rec = rec_pos[0] if rec_count else -1
+    demand_steps: List[int] = []
+    demand_addrs: List[int] = []
+    pf_steps: List[int] = []
+    pf_addrs: List[int] = []
+    add_dstep = demand_steps.append
+    add_daddr = demand_addrs.append
+    add_pstep = pf_steps.append
+    add_paddr = pf_addrs.append
+    #: Prefetch-buffer hit ages (step - issue step); classified against the
+    #: in-flight window after the loop — the split is stats-only.
+    ages: List[int] = []
+    add_age = ages.append
+    misses = 0
+    issued = evicted = 0
+    for step, address, hit in zip(range(arr.n), a_list, hit_list):
+        if step == next_rec:
+            trigger = rec_trigger[rec_index]
+            records[next_pos % hist_cap] = (trigger, rec_mask[rec_index])
+            if trigger in index_entries:
+                index_entries[trigger] = next_pos
+                index_move_to_end(trigger)
+            else:
+                index_entries[trigger] = next_pos
+                if len(index_entries) > index_capacity:
+                    index_popitem(last=False)
+            next_pos += 1
+            rec_index += 1
+            next_rec = rec_pos[rec_index] if rec_index < rec_count else -1
+        if hit:
+            is_miss = False
+        else:
+            issued_at = bpop(address, None)
+            if issued_at is not None:
+                blen -= 1
+                add_age(step - issued_at)
+                is_miss = False
+            else:
+                misses += 1
+                is_miss = True
+                if track_llc:
+                    add_dstep(step)
+                    add_daddr(address)
+            set_index = set_list[step]
+            content_m[set_index] = address
+            content_o[set_index] = other_list[step]
+        if is_miss:
+            # StreamEngine.on_miss, as in the Python fast path.
+            stale = owner_pop(address, None)
+            if stale is not None:
+                stale.outstanding.discard(address)
+            pos = index_get(address)
+            if pos is not None and 0 <= pos < next_pos and pos >= next_pos - hist_cap:
+                stream = _Stream(pos)
+                if len(streams) >= num_streams:
+                    retired = streams.pop(0)
+                    for block in retired.outstanding:
+                        owner_pop(block, None)
+                    retired.outstanding.clear()
+                streams.append(stream)
+                dispatches += 1
+                blocks: List[int] = []
+                spos = pos
+                for _ in range(lookahead):
+                    if spos < 0 or spos >= next_pos or spos < next_pos - hist_cap:
+                        break
+                    record = records[spos % hist_cap]
+                    if record is None:
+                        break
+                    spos += 1
+                    record_reads += 1
+                    rec_t, rec_m = record
+                    blocks.append(rec_t)
+                    for offset in offsets_table[rec_m]:
+                        blocks.append(rec_t + offset)
+                stream.next_pos = spos
+                outstanding = stream.outstanding
+                for block in blocks:
+                    if block not in owner:
+                        owner[block] = stream
+                        outstanding.add(block)
+                        if block != address:
+                            block_set = block % num_sets
+                            if (
+                                block != content_m[block_set]
+                                and block != content_o[block_set]
+                                and block not in bmap
+                            ):
+                                bmap[block] = step
+                                blen += 1
+                                issued += 1
+                                if track_llc:
+                                    add_pstep(step)
+                                    add_paddr(block)
+                                if blen > bcap:
+                                    bpopitem(last=False)
+                                    blen -= 1
+                                    evicted += 1
+        else:
+            # StreamEngine.on_consume, as in the Python fast path.
+            stream = owner_pop(address, None)
+            if stream is not None:
+                outstanding = stream.outstanding
+                outstanding.discard(address)
+                if len(outstanding) < outstanding_cap:
+                    spos = stream.next_pos
+                    if 0 <= spos < next_pos and spos >= next_pos - hist_cap:
+                        record = records[spos % hist_cap]
+                        if record is not None:
+                            stream.next_pos = spos + 1
+                            record_reads += 1
+                            rec_t, rec_m = record
+                            if rec_t not in owner:
+                                owner[rec_t] = stream
+                                outstanding.add(rec_t)
+                                block_set = rec_t % num_sets
+                                if (
+                                    rec_t != content_m[block_set]
+                                    and rec_t != content_o[block_set]
+                                    and rec_t not in bmap
+                                ):
+                                    bmap[rec_t] = step
+                                    blen += 1
+                                    issued += 1
+                                    if track_llc:
+                                        add_pstep(step)
+                                        add_paddr(rec_t)
+                                    if blen > bcap:
+                                        bpopitem(last=False)
+                                        blen -= 1
+                                        evicted += 1
+                            for offset in offsets_table[rec_m]:
+                                block = rec_t + offset
+                                if block not in owner:
+                                    owner[block] = stream
+                                    outstanding.add(block)
+                                    block_set = block % num_sets
+                                    if (
+                                        block != content_m[block_set]
+                                        and block != content_o[block_set]
+                                        and block not in bmap
+                                    ):
+                                        bmap[block] = step
+                                        blen += 1
+                                        issued += 1
+                                        if track_llc:
+                                            add_pstep(step)
+                                            add_paddr(block)
+                                        if blen > bcap:
+                                            bpopitem(last=False)
+                                            blen -= 1
+                                            evicted += 1
+    ages_arr = np.asarray(ages, dtype=np.int64)
+    buffer_hits = ages_arr.size
+    timely = int(np.count_nonzero(ages_arr >= inflight_c))
+    stats.demand_hits = arr.n - misses - buffer_hits
+    stats.prefetch_hits = timely
+    stats.late_hits = buffer_hits - timely
+    stats.misses = misses
+    stats.prefetches_issued = issued
+    buffer.evicted_unused = evicted
+    history._next_pos = next_pos
+    compactor._trigger = final_trigger
+    compactor._mask = final_mask
+    engine.dispatches = dispatches
+    engine.record_reads = record_reads
+    solution = None
+    if capture:
+        solution = _PIFLaneSolution()
+        solution.misses = misses
+        solution.issued = issued
+        solution.evicted = evicted
+        solution.dispatches = dispatches
+        solution.record_reads = record_reads
+        solution.ages = ages_arr
+        solution.records = list(records)
+        solution.next_pos = next_pos
+        solution.index_items = list(index_entries.items())
+        solution.final_trigger = final_trigger
+        solution.final_mask = final_mask
+        solution.buffer_items = list(bmap.items())
+        slot_of = {id(stream): slot for slot, stream in enumerate(streams)}
+        solution.streams = [
+            (stream.next_pos, list(stream.outstanding)) for stream in streams
+        ]
+        solution.owner_items = [
+            (block, slot_of[id(stream)]) for block, stream in owner.items()
+        ]
+        solution.d_steps = np.asarray(demand_steps, dtype=np.int64)
+        solution.d_addrs = np.asarray(demand_addrs, dtype=np.int64)
+        solution.p_steps = np.asarray(pf_steps, dtype=np.int64)
+        solution.p_addrs = np.asarray(pf_addrs, dtype=np.int64)
+    return solution, (demand_steps, demand_addrs, pf_steps, pf_addrs)
+
+
+# ---------------------------------------------------------------------------
+# Backend
+
+
+class NumPyBackend(Backend):
+    """Batch-vectorized loops for the state-private engine families.
+
+    SHIFT (shared history: the round-robin interleaving is semantically
+    load-bearing) and custom prefetchers run through the Python backend,
+    as do configurations outside the vectorized loops' closed forms — the
+    results are identical either way.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._python = PythonBackend()
+
+    def run(self, lanes, inflight: Dict[int, int], prefetcher, llc=None) -> None:
+        ptype = type(prefetcher)
+        try:
+            if ptype is NullPrefetcher or ptype is Prefetcher:
+                _run_baseline(lanes, llc)
+                return
+            if ptype is NextLinePrefetcher:
+                if _run_next_line(lanes, inflight, prefetcher._degree, llc):
+                    return
+                # The buffer would overflow: the per-block decoupling no
+                # longer holds.  Nothing was mutated; replay in Python.
+            elif ptype is PIFPrefetcher:
+                _run_pif(lanes, inflight, prefetcher, llc)
+                return
+        except _Unsupported:
+            pass
+        self._python.run(lanes, inflight, prefetcher, llc)
+
+
+__all__ = ["NumPyBackend"]

@@ -8,13 +8,22 @@ and unfairly favourable.
 
 For engines whose state is entirely per-core (the baseline, next-line and
 PIF) the interleaving is unobservable: core ``c``'s ``k``-th access always
-happens at global step ``k`` whichever order lanes are visited, so
-:class:`SimulationEngine` runs those engines through sequential per-core
-loops from :mod:`repro.sim._fastpath` with the cache, buffer and stream
-operations inlined.  Shared-history engines (SHIFT) keep the round-robin
-order via per-lane generators.  Results are bit-identical across all paths;
-the regression tests pin them to the frozen PR-1 loop in
-:mod:`repro.sim._legacy`.
+happens at global step ``k`` whichever order lanes are visited.  How the
+replay is *executed* is delegated to a :class:`~repro.sim.backends.Backend`
+(``backend=`` / ``--backend`` / ``REPRO_BACKEND``): the ``python`` backend
+runs the sequential per-core loops of :mod:`repro.sim._fastpath` with the
+cache, buffer and stream operations inlined, the ``numpy`` backend replaces
+them with array passes where the structure allows.  Shared-history engines
+(SHIFT) keep the round-robin order via per-lane generators on every
+backend.  Results are bit-identical across all paths; the regression tests
+pin them to the frozen PR-1 loop in :mod:`repro.sim._legacy` and the
+backends to each other.
+
+The lane caches and buffers handed to a backend are run-local scratch:
+backends must leave the :class:`CoreResult` counters, the prefetch-buffer
+contents, the prefetcher's mutable state and the LLC exactly as the
+reference loop would, but the L1 cache objects themselves are not read
+after the run and carry no contract.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from ..config import SystemConfig, scaled_system
 from ..errors import SimulationError
 from ..workloads.address_space import HISTORY_REGION_BASE, HISTORY_REGION_SPACING
 from ..workloads.trace import TraceSet
+from .backends import Backend, get_backend
 from .cache import PrefetchBuffer, SetAssociativeCache
 from .llc import LLCStats, SharedLLC
 from .prefetchers import (
@@ -33,14 +43,10 @@ from .prefetchers import (
     MISS,
     PREFETCH_HIT,
     ConsolidatedSHIFTPrefetcher,
-    NextLinePrefetcher,
-    NullPrefetcher,
-    PIFPrefetcher,
     Prefetcher,
     SHIFTPrefetcher,
     make_prefetcher,
 )
-from . import _fastpath
 
 #: Default per-core prefetch-buffer capacity in blocks (4 streams x 12
 #: records x ~5 blocks per record, rounded up).
@@ -168,11 +174,13 @@ class SimulationEngine:
         prefetcher: Optional[Prefetcher] = None,
         prefetch_buffer_blocks: int = DEFAULT_PREFETCH_BUFFER_BLOCKS,
         model_llc: bool = True,
+        backend: "str | Backend | None" = None,
     ) -> None:
         self._system = system if system is not None else scaled_system()
         self._prefetcher = prefetcher if prefetcher is not None else Prefetcher()
         self._buffer_blocks = prefetch_buffer_blocks
         self._model_llc = model_llc
+        self._backend = get_backend(backend)
 
     @property
     def system(self) -> SystemConfig:
@@ -181,6 +189,10 @@ class SimulationEngine:
     @property
     def prefetcher(self) -> Prefetcher:
         return self._prefetcher
+
+    @property
+    def backend(self) -> Backend:
+        return self._backend
 
     def run(self, trace_set: TraceSet) -> SimulationResult:
         system = self._system
@@ -221,21 +233,7 @@ class SimulationEngine:
 
         llc = self._build_llc(trace_set) if self._model_llc else None
 
-        # Exact-type dispatch: subclasses may override on_access, so they
-        # fall through to the per-core or round-robin generic loops below.
-        ptype = type(prefetcher)
-        if ptype is NullPrefetcher or ptype is Prefetcher:
-            _fastpath.run_baseline(lanes, llc)
-        elif ptype is NextLinePrefetcher:
-            _fastpath.run_next_line(lanes, inflight, prefetcher._degree, llc)
-        elif ptype is PIFPrefetcher:
-            _fastpath.run_stream_per_core(lanes, inflight, prefetcher, llc)
-        elif ptype is SHIFTPrefetcher or ptype is ConsolidatedSHIFTPrefetcher:
-            _fastpath.run_stream_shared(lanes, inflight, prefetcher, llc)
-        elif not getattr(prefetcher, "shares_state", True):
-            _fastpath.run_per_core_generic(lanes, inflight, prefetcher, llc)
-        else:
-            self._run_round_robin(lanes, inflight, prefetcher, llc)
+        self._backend.run(lanes, inflight, prefetcher, llc)
 
         for lane_core_id, _, _, lane_buffer, stats in lanes:
             stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
@@ -328,13 +326,20 @@ def simulate(
     system: Optional[SystemConfig] = None,
     prefetcher: "Prefetcher | str" = "none",
     model_llc: bool = True,
+    backend: "str | Backend | None" = None,
     **factory_kwargs,
 ) -> SimulationResult:
-    """Convenience wrapper: simulate ``trace_set`` with a named prefetcher."""
+    """Convenience wrapper: simulate ``trace_set`` with a named prefetcher.
+
+    ``backend`` selects the execution strategy (``python`` / ``numpy``; see
+    :mod:`repro.sim.backends`); results are identical on every backend.
+    """
     sys_config = system if system is not None else scaled_system()
     if isinstance(prefetcher, str):
         prefetcher = make_prefetcher(prefetcher, sys_config, **factory_kwargs)
-    engine = SimulationEngine(system=sys_config, prefetcher=prefetcher, model_llc=model_llc)
+    engine = SimulationEngine(
+        system=sys_config, prefetcher=prefetcher, model_llc=model_llc, backend=backend
+    )
     return engine.run(trace_set)
 
 

@@ -205,12 +205,15 @@ def run_sweep(
     seed: int = 0,
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
+    backend: Optional[str] = None,
 ) -> SweepReport:
     """Run one sensitivity sweep and return its report.
 
     ``values`` overrides the axis' default points: history entries for
     ``storage``, core counts for ``cores``, seeds for ``seeds``, and
-    sequences of workload names for ``consolidation``.
+    sequences of workload names for ``consolidation``.  ``backend``
+    selects the simulation backend for every point (results are
+    backend-invariant).
     """
     if axis not in SWEEP_AXES:
         raise ConfigurationError(f"unknown sweep axis {axis!r}; known: {', '.join(SWEEP_AXES)}")
@@ -220,6 +223,7 @@ def run_sweep(
         blocks_per_core=blocks_per_core,
         workers=workers,
         trace_cache=trace_cache,
+        backend=backend,
     )
     points: List[SweepPoint] = []
     if axis == "storage":

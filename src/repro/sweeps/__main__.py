@@ -48,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--blocks", type=int, default=None, help="trace length per core")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=None, help="parallel worker processes")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="simulation backend: python or numpy "
+        "(default: $REPRO_BACKEND or python); results are identical",
+    )
     parser.add_argument("--trace-cache", default=None, metavar="DIR")
     parser.add_argument("--json", default=None, metavar="PATH", help="write the sweep as JSON")
     parser.add_argument(
@@ -79,6 +86,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             workers=args.workers,
             trace_cache=args.trace_cache,
+            backend=args.backend,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

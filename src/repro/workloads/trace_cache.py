@@ -8,12 +8,20 @@ repeated ``--check`` runs) the same cells recur constantly.  Worker processes
 of the parallel executor coordinate purely through this cache — the first
 process to need a trace generates and publishes it, later ones load it.
 
-Entries are pickle files named by a SHA-256 key over every input that can
-influence generation, including the full workload-spec field dict, so editing
-a workload definition naturally invalidates its entries.  Writes go through a
-temporary file and :func:`os.replace`, which makes concurrent writers safe on
-POSIX: both produce identical bytes and the rename is atomic.  A cache entry
-is an optimization only — any read problem falls back to regeneration.
+Entries are pickle files named ``v<version>-<sha256>.pkl``: the SHA-256 key
+covers every input that can influence generation, including the full
+workload-spec field dict, so editing a workload definition naturally
+invalidates its entries.  Writes go through a temporary file and
+:func:`os.replace`, which makes concurrent writers safe on POSIX: both
+produce identical bytes and the rename is atomic.  A cache entry is an
+optimization only — any read problem falls back to regeneration.
+
+The cache is bounded: opening it prunes entries left by other format
+versions (their keys can never be requested again), and after every store
+the total size is capped at :data:`DEFAULT_MAX_BYTES` (override per cache
+with ``max_bytes=`` or globally with ``REPRO_TRACE_CACHE_MAX_BYTES``;
+``0`` disables the cap).  Eviction is least-recently-used: loads bump an
+entry's mtime, and the oldest entries are removed first.
 """
 
 from __future__ import annotations
@@ -22,12 +30,14 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..config import SystemConfig
+from ..errors import ConfigurationError
 from .suite import WorkloadSpec
 from .trace import TraceSet
 
@@ -36,6 +46,42 @@ CACHE_FORMAT_VERSION = 2
 
 #: Default cache directory (under the working directory, like ``.pytest_cache``).
 DEFAULT_CACHE_DIR = ".trace_cache"
+
+#: Environment variable overriding the default size cap (bytes; 0 = unlimited).
+MAX_BYTES_ENV_VAR = "REPRO_TRACE_CACHE_MAX_BYTES"
+
+#: Default on-disk budget: enough for hundreds of scaled trace sets while
+#: keeping an unattended sweep box from filling its disk.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Filename prefix of current-version entries.
+_VERSION_PREFIX = f"v{CACHE_FORMAT_VERSION}-"
+
+#: Name shapes this cache family has ever written: ``v<N>-<sha256>.pkl``
+#: and the PR-2-era bare ``<sha256>.pkl``.  Pruning must never touch
+#: anything else — the user may point the cache at a directory that also
+#: holds unrelated pickles.
+_ENTRY_NAME_RE = re.compile(r"^(?:v(\d+)-)?[0-9a-f]{64}\.pkl$")
+
+
+def _resolve_max_bytes(max_bytes: Optional[int]) -> int:
+    """Effective cap: explicit argument > environment > default."""
+    if max_bytes is not None:
+        if max_bytes < 0:
+            raise ConfigurationError("trace cache max_bytes cannot be negative")
+        return max_bytes
+    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{MAX_BYTES_ENV_VAR} must be an integer byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"{MAX_BYTES_ENV_VAR} cannot be negative")
+    return value
 
 
 def trace_cache_key(
@@ -69,24 +115,91 @@ def trace_cache_key(
 
 
 class TraceCache:
-    """A directory of pickled :class:`~repro.workloads.trace.TraceSet`\\ s."""
+    """A bounded directory of pickled :class:`~repro.workloads.trace.TraceSet`\\ s."""
 
-    def __init__(self, directory: "str | Path" = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        directory: "str | Path" = DEFAULT_CACHE_DIR,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self._directory = Path(directory)
+        self._max_bytes = _resolve_max_bytes(max_bytes)
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
+        self._prune_stale_versions()
 
     @property
     def directory(self) -> Path:
         return self._directory
 
+    @property
+    def max_bytes(self) -> int:
+        """Size cap in bytes (0 = unlimited)."""
+        return self._max_bytes
+
     def _path(self, key: str) -> Path:
-        return self._directory / f"{key}.pkl"
+        return self._directory / f"{_VERSION_PREFIX}{key}.pkl"
+
+    def _prune_stale_versions(self) -> None:
+        """Drop entries written by *older* format versions — this version
+        will never request their keys again — and the PR-2-era unversioned
+        files.  Entries from newer versions are left alone: a newer checkout
+        sharing the directory still needs them, and deleting them would make
+        the two checkouts wipe each other's caches on every open.
+        Best-effort, like every other filesystem operation here."""
+        try:
+            entries = list(self._directory.iterdir())
+        except OSError:
+            return
+        for path in entries:
+            match = _ENTRY_NAME_RE.match(path.name)
+            if match is None:
+                continue
+            version = int(match.group(1)) if match.group(1) else 0
+            if version >= CACHE_FORMAT_VERSION:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _entries_by_age(self) -> List[Tuple[float, int, Path]]:
+        """Current-version entries as (mtime, size, path), oldest first."""
+        entries: List[Tuple[float, int, Path]] = []
+        try:
+            paths = list(self._directory.glob(f"{_VERSION_PREFIX}*.pkl"))
+        except OSError:
+            return entries
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _enforce_cap(self) -> None:
+        if not self._max_bytes:
+            return
+        entries = self._entries_by_age()
+        total = sum(size for _mtime, size, _path in entries)
+        for _mtime, size, path in entries:
+            if total <= self._max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evicted += 1
 
     def load(self, key: str) -> Optional[TraceSet]:
         """Return the cached trace set for ``key``, or None."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 trace_set = pickle.load(handle)
         except (OSError, EOFError, pickle.UnpicklingError, AttributeError, ValueError):
             self.misses += 1
@@ -94,6 +207,10 @@ class TraceCache:
         if not isinstance(trace_set, TraceSet):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # LRU touch: protect hot entries from eviction
+        except OSError:
+            pass
         self.hits += 1
         return trace_set
 
@@ -116,7 +233,8 @@ class TraceCache:
                 raise
         except OSError:
             # A read-only or full filesystem must not fail the experiment.
-            pass
+            return
+        self._enforce_cap()
 
 
 __all__ = [
@@ -124,4 +242,6 @@ __all__ = [
     "trace_cache_key",
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_BYTES",
+    "MAX_BYTES_ENV_VAR",
 ]

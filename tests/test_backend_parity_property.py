@@ -1,0 +1,60 @@
+"""Property test: experiment reports are byte-identical across backends.
+
+Randomized small systems (core count, seed, workload subset, trace length,
+history budget, LLC slice) run through :func:`repro.experiments.run_experiment`
+under the ``python`` and ``numpy`` backends; ``ExperimentReport.to_json()``
+must agree byte for byte, serially and with ``REPRO_WORKERS=2``.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.workloads.suite import WORKLOAD_NAMES
+
+pytest.importorskip("numpy")
+
+#: Fixed seeds make the sampled configurations reproducible in CI.
+PROPERTY_SEEDS = (1, 2, 3, 4, 5)
+
+
+def random_config(seed: int) -> dict:
+    rng = random.Random(seed)
+    return {
+        "workloads": rng.sample(list(WORKLOAD_NAMES), rng.randint(1, 2)),
+        "num_cores": rng.choice([1, 2, 3, 4]),
+        "blocks_per_core": rng.choice([400, 700, 1_100]),
+        "seed": rng.randint(0, 10_000),
+        "history_entries": rng.choice([None, 8 * 1024, 64 * 1024]),
+        "llc_kb_per_core": rng.choice([None, 256, 1_024]),
+    }
+
+
+@pytest.mark.parametrize("config_seed", PROPERTY_SEEDS)
+def test_reports_byte_identical_across_backends(config_seed):
+    config = random_config(config_seed)
+    python_report = run_experiment(backend="python", **config)
+    numpy_report = run_experiment(backend="numpy", **config)
+    assert python_report.to_json() == numpy_report.to_json()
+
+
+def test_reports_byte_identical_with_parallel_workers(tmp_path):
+    config = random_config(99)
+    serial = run_experiment(backend="python", **config)
+    for backend in ("python", "numpy"):
+        parallel = run_experiment(
+            backend=backend, workers=2, trace_cache=tmp_path, **config
+        )
+        assert serial.to_json() == parallel.to_json()
+
+
+def test_reports_byte_identical_under_backend_env(monkeypatch, tmp_path):
+    """REPRO_BACKEND routes whole experiments (including worker processes)
+    through the numpy backend without changing a byte of the report."""
+    config = random_config(123)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    baseline = run_experiment(**config)
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    via_env = run_experiment(**config)
+    assert baseline.to_json() == via_env.to_json()

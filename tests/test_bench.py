@@ -1,8 +1,9 @@
-"""The bench harness and report-table formatting."""
+"""The bench harness, the bench-regression gate, and report formatting."""
 
+import copy
 import json
 
-from repro.bench import bench_experiment, bench_hotloop, write_bench_json
+from repro.bench import bench_experiment, bench_hotloop, check_against, write_bench_json
 from repro.experiments import format_report, run_experiment
 
 
@@ -26,6 +27,114 @@ class TestBenchHarness:
             assert data["optimized_seconds"] > 0
         path = write_bench_json(result, tmp_path)
         assert path.name == "BENCH_hotloop.json"
+
+    def test_hotloop_records_backend_comparison_when_numpy_present(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        result = bench_hotloop(quick=True)
+        backend = result["backend"]
+        assert backend["numpy_available"] is True
+        assert backend["backends_match"] is True
+        assert backend["total_numpy_speedup"] > 0
+        for data in result["engines"].values():
+            assert data["numpy_seconds"] > 0
+            assert data["numpy_speedup"] > 0
+
+
+def hotloop_fixture():
+    return {
+        "benchmark": "hotloop",
+        "config": {"workload": "oltp_db2", "seed": 0, "blocks_per_core": None, "accesses": 120_000},
+        "engines": {
+            "none": {"speedup": 1.0, "numpy_speedup": 8.0},
+            "pif": {"speedup": 1.5, "numpy_speedup": 10.0},
+        },
+        "total_speedup": 1.4,
+        "backend": {
+            "numpy_available": True,
+            "backends_match": True,
+            "total_numpy_speedup": 9.0,
+        },
+    }
+
+
+class TestCheckAgainst:
+    def test_identical_results_pass(self):
+        baseline = hotloop_fixture()
+        assert check_against(copy.deepcopy(baseline), baseline) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["total_speedup"] = 1.3
+        current["engines"]["pif"]["numpy_speedup"] = 9.0
+        assert check_against(current, baseline, tolerance=0.15) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["engines"]["none"]["numpy_speedup"] = 5.0  # 8.0 -> 5.0 is >15%
+        violations = check_against(current, baseline)
+        assert any("none" in violation for violation in violations)
+
+    def test_total_speedup_regression_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["total_speedup"] = 1.0
+        assert any("total_speedup" in v for v in check_against(current, baseline))
+
+    def test_backend_divergence_always_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["backend"]["backends_match"] = False
+        assert any("diverged" in v for v in check_against(current, baseline))
+
+    def test_missing_engine_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        del current["engines"]["pif"]
+        assert any("missing" in v for v in check_against(current, baseline))
+
+    def test_incomparable_config_fails_early(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["config"]["accesses"] = 48_000
+        current["total_speedup"] = 0.1  # must not be reported: configs differ
+        violations = check_against(current, baseline)
+        assert violations and all("not comparable" in v for v in violations)
+
+    def test_benchmark_name_mismatch(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        current["benchmark"] = "experiment"
+        assert any("benchmark mismatch" in v for v in check_against(current, baseline))
+
+    def test_cli_gate_passes_against_own_output(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        baseline_dir = tmp_path / "baseline"
+        assert (
+            main(["--quick", "--benchmarks", "hotloop", "--out", str(baseline_dir)]) == 0
+        )
+        baseline_path = baseline_dir / "BENCH_hotloop.json"
+        # Against its own (tolerance-relaxed) output the gate must pass:
+        # quick single-repeat timings are noisy, so give wide headroom.
+        code = main(
+            [
+                "--quick",
+                "--benchmarks",
+                "hotloop",
+                "--out",
+                str(tmp_path / "current"),
+                "--check-against",
+                str(baseline_path),
+                "--regression-tolerance",
+                "0.95",
+            ]
+        )
+        assert code == 0
+        assert "bench-regression gate passed" in capsys.readouterr().out
 
 
 class TestReportAlignment:

@@ -1,0 +1,124 @@
+"""TraceCache bounds: LRU size cap and stale-version pruning."""
+
+import os
+import time
+
+import pytest
+
+from repro.config import scaled_system
+from repro.errors import ConfigurationError
+from repro.workloads.generator import generate_traces
+from repro.workloads.suite import scaled_workload, workload_by_name
+from repro.workloads.trace_cache import (
+    CACHE_FORMAT_VERSION,
+    MAX_BYTES_ENV_VAR,
+    TraceCache,
+    trace_cache_key,
+)
+
+SYSTEM = scaled_system()
+
+
+def make_trace(seed: int, blocks: int = 300):
+    spec = scaled_workload(workload_by_name("oltp_db2"), SYSTEM.scale)
+    key = trace_cache_key(spec, SYSTEM, seed, 2, blocks)
+    trace = generate_traces(spec, SYSTEM, seed=seed, num_cores=2, blocks_per_core=blocks)
+    return key, trace
+
+
+def entry_files(path):
+    return sorted(path.glob("*.pkl"))
+
+
+class TestSizeCap:
+    def test_store_evicts_oldest_beyond_cap(self, tmp_path):
+        key0, trace = make_trace(0)
+        probe = TraceCache(tmp_path, max_bytes=0)
+        probe.store(key0, trace)
+        entry_size = entry_files(tmp_path)[0].stat().st_size
+        for path in entry_files(tmp_path):
+            path.unlink()
+        # Room for two entries; capping after four stores must keep only
+        # the two newest (distinct mtimes make LRU order deterministic on
+        # coarse filesystem timestamps).
+        keys = []
+        base = time.time()
+        for seed in range(4):
+            key, trace = make_trace(seed)
+            keys.append(key)
+            probe.store(key, trace)
+            os.utime(probe._path(key), (base + seed, base + seed))
+        cache = TraceCache(tmp_path, max_bytes=int(entry_size * 2.5))
+        cache._enforce_cap()
+        assert cache.evicted == 2
+        assert cache.load(keys[0]) is None
+        assert cache.load(keys[1]) is None
+        assert cache.load(keys[2]) is not None
+        assert cache.load(keys[3]) is not None
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        key0, trace0 = make_trace(0)
+        probe = TraceCache(tmp_path, max_bytes=0)
+        probe.store(key0, trace0)
+        entry_size = entry_files(tmp_path)[0].stat().st_size
+        cache = TraceCache(tmp_path, max_bytes=int(entry_size * 2.5))
+        key1, trace1 = make_trace(1)
+        cache.store(key1, trace1)
+        now = time.time()
+        os.utime(cache._path(key0), (now - 100, now - 100))
+        os.utime(cache._path(key1), (now - 50, now - 50))
+        # Touch the older entry via load; the next store must evict key1.
+        assert cache.load(key0) is not None
+        key2, trace2 = make_trace(2)
+        cache.store(key2, trace2)
+        assert cache.load(key0) is not None
+        assert cache.load(key1) is None
+
+    def test_zero_cap_means_unbounded(self, tmp_path):
+        cache = TraceCache(tmp_path, max_bytes=0)
+        for seed in range(3):
+            key, trace = make_trace(seed)
+            cache.store(key, trace)
+        assert cache.evicted == 0
+        assert len(entry_files(tmp_path)) == 3
+
+    def test_env_var_sets_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "12345")
+        assert TraceCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "not-a-number")
+        with pytest.raises(ConfigurationError):
+            TraceCache(tmp_path)
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "-1")
+        with pytest.raises(ConfigurationError):
+            TraceCache(tmp_path)
+
+
+class TestVersionPruning:
+    def test_open_prunes_older_versions_and_legacy_names(self, tmp_path):
+        digest = "deadbeef" * 8  # 64 hex chars, like a real entry name
+        stale_old_format = tmp_path / f"{digest}.pkl"
+        stale_old_format.write_bytes(b"legacy PR-2 entry")
+        stale_version = tmp_path / f"v{CACHE_FORMAT_VERSION - 1}-{digest}.pkl"
+        stale_version.write_bytes(b"older version entry")
+        newer_version = tmp_path / f"v{CACHE_FORMAT_VERSION + 1}-{digest}.pkl"
+        newer_version.write_bytes(b"a newer checkout's entry")
+        unrelated = tmp_path / "notes.txt"
+        unrelated.write_text("keep me")
+        foreign_pickle = tmp_path / "model.pkl"
+        foreign_pickle.write_bytes(b"someone else's pickle")
+        cache = TraceCache(tmp_path)
+        key, trace = make_trace(0)
+        cache.store(key, trace)
+        assert not stale_old_format.exists()
+        assert not stale_version.exists()
+        assert newer_version.exists(), "a newer checkout's entries must survive"
+        assert unrelated.exists()
+        assert foreign_pickle.exists(), "pruning must not touch foreign .pkl files"
+        assert cache.load(key) is not None
+
+    def test_current_version_entries_survive_reopen(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key, trace = make_trace(0)
+        cache.store(key, trace)
+        reopened = TraceCache(tmp_path)
+        assert reopened.load(key) is not None
