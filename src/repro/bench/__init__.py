@@ -13,7 +13,11 @@ becomes part of the repo's recorded trajectory:
   on a single workload trace: legacy versus optimized Python loops, and
   ``python`` versus ``numpy`` backend (warm-cache, best-of-repeats),
   isolating the :mod:`repro.sim._fastpath` / :mod:`repro.sim.backends`
-  gains from trace generation and driver overhead.
+  gains from trace generation and driver overhead.  The result also
+  carries a ``trace_generation`` section (cold vectorized generation vs
+  warm memory-mapped cache loads per suite entry, plus the v2-pickle
+  old-vs-new load ratio), so trace production is part of the same
+  regression wall as replay.
 
 :func:`check_against` is the CI bench-regression gate: it compares a fresh
 hotloop run's *speedup ratios* against the committed ``BENCH_hotloop.json``
@@ -205,6 +209,91 @@ def bench_experiment(
     return result
 
 
+def _bench_trace_generation(
+    quick: bool, seed: int, repeats: int
+) -> Dict[str, object]:
+    """Per-suite-entry trace production: cold generation vs warm cache loads.
+
+    *Cold* is a full vectorized generation of the entry's trace set;
+    *warm* is a :class:`~repro.workloads.trace_cache.TraceCache` load of the
+    binary entry (a JSON sidecar read plus a read-only ``mmap`` of the
+    column file) — the steady state of sweeps and parallel workers.  The
+    old-vs-new load ratio times a pickle round trip of the same trace set
+    against the binary load: pickling is what the v2 cache did on every
+    load in every worker process.
+    """
+    import pickle
+    import tempfile
+
+    from ..workloads.trace_cache import TraceCache, trace_cache_key
+
+    names = list(QUICK_WORKLOADS if quick else WORKLOAD_NAMES)
+    blocks = QUICK_BLOCKS if quick else None
+    sys_config = system_for("scaled", 16)
+    suite: Dict[str, object] = {}
+    cold_total = warm_total = pickle_total = 0.0
+    with tempfile.TemporaryDirectory(prefix="bench-trace-cache-") as tmp:
+        cache = TraceCache(tmp, max_bytes=0)
+        for name in names:
+            spec = scaled_workload(workload_by_name(name), sys_config.scale)
+            key = trace_cache_key(spec, sys_config, seed, None, blocks)
+            trace_set = None
+            cold_runs = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                trace_set = generate_traces(
+                    spec, sys_config, seed=seed, blocks_per_core=blocks
+                )
+                cold_runs.append(time.perf_counter() - started)
+            cache.store(key, trace_set)
+            warm_runs = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                loaded = cache.load(key)
+                warm_runs.append(time.perf_counter() - started)
+            assert loaded is not None and loaded == trace_set
+            # The v2 cache pickled list-backed traces: every load in every
+            # worker process re-materialized each address as a Python int.
+            # Rebuild that payload shape for an honest old-vs-new ratio.
+            legacy_payload = pickle.dumps(
+                [
+                    (t.core_id, t.addresses, t.instructions_per_block, t.workload)
+                    for t in trace_set.traces
+                ],
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            pickle_runs = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                pickle.loads(legacy_payload)
+                pickle_runs.append(time.perf_counter() - started)
+            cold, warm = min(cold_runs), min(warm_runs)
+            cold_total += cold
+            warm_total += warm
+            pickle_total += min(pickle_runs)
+            suite[name] = {
+                "cold_seconds": round(cold, 4),
+                "warm_seconds": round(warm, 6),
+                "warm_speedup": round(cold / warm, 1) if warm else 0.0,
+            }
+    result: Dict[str, object] = {
+        "description": "per-suite-entry trace production: cold vectorized "
+        "generation vs warm binary-cache load (JSON sidecar + read-only mmap), "
+        "plus the v2-era list-payload pickle deserialization for the "
+        "old-vs-new load ratio",
+        "config": {"workloads": names, "blocks_per_core": blocks, "repeats": repeats},
+        "suite": suite,
+        "cold_seconds": round(cold_total, 4),
+        "warm_seconds": round(warm_total, 6),
+        "warm_speedup": round(cold_total / warm_total, 1) if warm_total else 0.0,
+        "pickle_load_seconds": round(pickle_total, 6),
+        "old_vs_new_load_ratio": (
+            round(pickle_total / warm_total, 2) if warm_total else 0.0
+        ),
+    }
+    return result
+
+
 def bench_hotloop(
     quick: bool = False, seed: int = 0, repeats: int = 3, workload: str = "oltp_db2"
 ) -> Dict[str, object]:
@@ -303,6 +392,7 @@ def bench_hotloop(
     if numpy_available:
         result["backend"]["backends_match"] = backends_match
         result["backend"]["total_numpy_speedup"] = round(total_optimized / total_numpy, 3)
+    result["trace_generation"] = _bench_trace_generation(quick, seed, repeats)
     return result
 
 
@@ -334,6 +424,13 @@ _COMPARABLE_CONFIG_KEYS = ("workload", "seed", "blocks_per_core", "accesses", "r
 #: could regress.
 _GATE_MIN_BASELINE_SPEEDUP = 1.5
 
+#: Cap applied to the committed trace-generation warm speedup before the
+#: tolerance: warm loads are sub-millisecond mmap opens, so beyond ~10x
+#: the ratio measures filesystem latency on the recording machine, not the
+#: code path.  The clamped gate still enforces >= 8.5x at the default
+#: tolerance — far above the 3x floor the refactor promises.
+_GATE_TRACE_GEN_SPEEDUP_CAP = 10.0
+
 
 def check_against(
     current: Dict[str, object],
@@ -352,8 +449,11 @@ def check_against(
     measure a real speedup are excluded as pure timing noise: per-engine
     legacy-vs-optimized ratios hover near 1.0 (only their aggregate is
     gated) and numpy ratios of Python-fallback engines sit below
-    :data:`_GATE_MIN_BASELINE_SPEEDUP` in the baseline.  A backend
-    divergence (``backends_match`` gone false) always fails.
+    :data:`_GATE_MIN_BASELINE_SPEEDUP` in the baseline.  The
+    trace-generation warm speedup is gated against the committed value
+    clamped to :data:`_GATE_TRACE_GEN_SPEEDUP_CAP` (the uncapped ratio is
+    dominated by sub-millisecond load times).  A backend divergence
+    (``backends_match`` gone false) always fails.
     """
     violations: List[str] = []
     if current.get("benchmark") != baseline.get("benchmark"):
@@ -406,6 +506,19 @@ def check_against(
                 f"engines.{engine}.numpy_speedup",
                 current_data.get("numpy_speedup"),
                 baseline_ratio,
+            )
+    baseline_gen = baseline.get("trace_generation")
+    if isinstance(baseline_gen, dict) and isinstance(
+        baseline_gen.get("warm_speedup"), (int, float)
+    ):
+        current_gen = current.get("trace_generation")
+        if not isinstance(current_gen, dict):
+            violations.append("trace_generation section missing from current results")
+        else:
+            _check_ratio(
+                "trace_generation.warm_speedup",
+                current_gen.get("warm_speedup"),
+                min(float(baseline_gen["warm_speedup"]), _GATE_TRACE_GEN_SPEEDUP_CAP),
             )
     return violations
 

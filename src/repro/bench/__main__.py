@@ -123,6 +123,14 @@ def main(argv=None) -> int:
                 )
                 if not backend["backends_match"]:
                     status = 1
+            generation = result.get("trace_generation")
+            if generation:
+                headline += (
+                    f"\n  trace generation: {generation['cold_seconds']}s cold -> "
+                    f"{generation['warm_seconds']}s warm mmap loads "
+                    f"({generation['warm_speedup']}x; pickle-vs-binary load "
+                    f"{generation['old_vs_new_load_ratio']}x)"
+                )
             if baseline is not None:
                 violations = check_against(
                     result, baseline, tolerance=args.regression_tolerance

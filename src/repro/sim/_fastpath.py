@@ -61,11 +61,29 @@ if TYPE_CHECKING:  # engine imports this module; avoid the runtime cycle.
     from .engine import CoreResult
     from .llc import SharedLLC
 
-#: One simulation lane: (core id, trace addresses, cache, buffer, stats).
-Lane = Tuple[int, List[int], SetAssociativeCache, PrefetchBuffer, "CoreResult"]
+#: One simulation lane: (core id, trace, cache, buffer, stats).  The trace
+#: element is a :class:`~repro.workloads.trace.CoreTrace` (the columnar IR)
+#: when built by the engine, but any plain int sequence works — every loop
+#: normalizes through :func:`address_list`.
+Lane = Tuple[int, "CoreTrace | List[int]", SetAssociativeCache, PrefetchBuffer, "CoreResult"]
 
 #: One recorded LLC request of a per-core loop: (step, address, is_demand).
 LLCEvent = Tuple[int, int, bool]
+
+if TYPE_CHECKING:
+    from ..workloads.trace import CoreTrace
+
+
+def address_list(addresses) -> List[int]:
+    """The plain-``list`` view of a lane's trace.
+
+    A :class:`~repro.workloads.trace.CoreTrace` exposes its columnar buffer
+    as a cached list through ``.addresses`` (materialized once per trace);
+    raw sequences pass through untouched.  The CPython loops iterate the
+    list — identical speed to the pre-columnar representation.
+    """
+    view = getattr(addresses, "addresses", None)
+    return addresses if view is None else view
 
 
 def _replay_llc(
@@ -140,6 +158,7 @@ def run_baseline(lanes: List[Lane], llc: "SharedLLC | None" = None) -> None:
     """No-prefetch loop: every access is a demand hit or a demand miss."""
     per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for _core_id, addresses, cache, _buffer, stats in lanes:
+        addresses = address_list(addresses)
         sets = cache._sets
         num_sets = cache._num_sets
         assoc = cache._associativity
@@ -179,6 +198,7 @@ def run_next_line(
     """Tagged next-N-line loop: issue on every miss and prefetch-buffer hit."""
     per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
+        addresses = address_list(addresses)
         sets = cache._sets
         num_sets = cache._num_sets
         assoc = cache._associativity
@@ -253,6 +273,7 @@ def run_stream_per_core(
     outstanding_cap = config.stream_buffer.capacity_records * region_blocks
     per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
+        addresses = address_list(addresses)
         engine = prefetcher._streams[core_id]
         history = prefetcher._histories[core_id]
         index = prefetcher._indices[core_id]
@@ -738,6 +759,7 @@ def run_stream_shared(
     consolidated = isinstance(prefetcher, ConsolidatedSHIFTPrefetcher)
     generators: List[Iterator[None]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
+        addresses = address_list(addresses)
         if consolidated:
             group = prefetcher._group_of_core.get(core_id)
             if group is None:
@@ -808,6 +830,7 @@ def run_per_core_generic(
     on_access = prefetcher.on_access
     per_lane: List[Tuple["CoreResult", List[LLCEvent]]] = []
     for core_id, addresses, cache, buffer, stats in lanes:
+        addresses = address_list(addresses)
         sets = cache._sets
         num_sets = cache._num_sets
         assoc = cache._associativity
@@ -871,6 +894,7 @@ def run_per_core_generic(
 
 
 __all__ = [
+    "address_list",
     "run_baseline",
     "run_next_line",
     "run_stream_per_core",

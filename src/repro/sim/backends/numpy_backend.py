@@ -40,13 +40,19 @@ contents, which removes the per-access cache and compactor work.
 
 Because every one of these computations is a deterministic pure function
 of (trace, geometry, engine configuration), the backend memoizes them
-across runs keyed by trace identity: the per-lane arrays and containment
-tables are shared by all four engine families of an experiment row, and
-the solved next-line timelines and fresh-state PIF lane solutions are
-replayed onto each run's fresh objects (sweeps that revisit a trace at a
-different LLC point hit these directly).  Per-run parameters — the
-in-flight window, buffer capacity, the LLC itself — are applied after the
-cached pure core, so results are identical whether a run hits or misses.
+across runs keyed by the trace's *content fingerprint* (carried by the
+columnar :class:`~repro.workloads.trace.CoreTrace` IR and persisted in the
+trace cache's sidecar): the per-lane arrays and containment tables are
+shared by all four engine families of an experiment row, and the solved
+next-line timelines and fresh-state PIF lane solutions are replayed onto
+each run's fresh objects.  Content keys mean the memos stay warm across
+*object* boundaries too — a sweep that reloads the same entry from the
+memory-mapped cache, or regenerates an identical trace, hits directly,
+where the previous ``id(addresses)`` scheme (and the strong-reference
+tuples it needed to guard against id reuse) could not.  Per-run
+parameters — the in-flight window, buffer capacity, the LLC itself — are
+applied after the cached pure core, so results are identical whether a
+run hits or misses.
 
 Fallbacks (always exact, never approximate): SHIFT and consolidated SHIFT
 serialize on their shared history round-robin and custom prefetchers on
@@ -62,6 +68,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...workloads.trace import column_fingerprint
 from ..prefetchers import (
     NextLinePrefetcher,
     NullPrefetcher,
@@ -84,17 +91,17 @@ class _Unsupported(Exception):
 
 
 #: Cross-run memo of per-lane trace facts.  Everything in a _LaneArrays is a
-#: pure function of (addresses, L1 geometry) and is engine-independent, so
-#: the four engines of one experiment row — and repeated bench runs — share
-#: one precompute.  Keys are list identities; entries hold a strong
-#: reference to the list both to validate the identity and to prevent id
-#: reuse.  Traces are treated as immutable everywhere in the library.
-_ARRAY_CACHE: "Dict[Tuple[int, int, int], Tuple[List[int], _LaneArrays]]" = {}
+#: pure function of (trace content, L1 geometry) and is engine-independent,
+#: so the four engines of one experiment row — and repeated bench runs —
+#: share one precompute.  Keys are (content fingerprint, sets, ways):
+#: content addressing needs no identity validation and survives reloads of
+#: the same trace from the memory-mapped cache.
+_ARRAY_CACHE: "Dict[Tuple[str, int, int], _LaneArrays]" = {}
 _ARRAY_CACHE_MAX = 64
 
 #: Same idea for the PIF compactor's record stream (trace-pure for a fresh
-#: compactor), keyed by (trace identity, region size).
-_RECORD_CACHE: "Dict[Tuple[int, int], Tuple[List[int], tuple]]" = {}
+#: compactor), keyed by (content fingerprint, region size).
+_RECORD_CACHE: "Dict[Tuple[str, int], tuple]" = {}
 _RECORD_CACHE_MAX = 32
 
 
@@ -105,14 +112,28 @@ def _cache_put(cache: Dict, limit: int, key, value) -> None:
 
 
 class _LaneArrays:
-    """Vectorized per-lane trace facts (all pure functions of the trace)."""
+    """Vectorized per-lane trace facts (all pure functions of the trace).
 
-    __slots__ = ("a", "n", "setidx", "l1_hit", "other_after", "order", "num_sets")
+    ``key`` is the content-addressed memo key (fingerprint, sets, ways):
+    every cross-run cache in this module composes its keys from it, so two
+    _LaneArrays built from equal-content traces are interchangeable.
+    """
 
-    def __init__(self, addresses: List[int], num_sets: int, assoc: int) -> None:
+    __slots__ = ("a", "n", "setidx", "l1_hit", "other_after", "order", "num_sets", "key")
+
+    def __init__(
+        self,
+        addresses: "List[int] | np.ndarray",
+        num_sets: int,
+        assoc: int,
+        fingerprint: Optional[str] = None,
+    ) -> None:
         if assoc > 2:
             raise _Unsupported("L1 associativity above 2 has no closed form")
         a = np.asarray(addresses, dtype=np.int64)
+        if fingerprint is None:
+            fingerprint = column_fingerprint(a)
+        self.key = (fingerprint, num_sets, assoc)
         n = a.size
         if n and int(a.min()) < 0:
             raise _Unsupported("negative block addresses break the -1 sentinels")
@@ -180,17 +201,30 @@ class _LaneArrays:
         return (j >= 0) & ((self.a[jc] == targets) | (self.other_after[jc] == targets))
 
 
+def _trace_columns(addresses) -> Tuple[np.ndarray, str]:
+    """A lane's int64 column (zero-copy off the IR) and its fingerprint.
+
+    :class:`~repro.workloads.trace.CoreTrace` lanes hand over their
+    columnar buffer and carried digest directly; raw sequences (tests,
+    ad-hoc lanes) are converted and hashed here.
+    """
+    column = getattr(addresses, "array", None)
+    if column is not None and hasattr(addresses, "fingerprint"):
+        return np.asarray(column, dtype=np.int64), addresses.fingerprint
+    a = np.asarray(addresses, dtype=np.int64)
+    return a, column_fingerprint(a)
+
+
 def _lane_arrays_for(lanes) -> List[_LaneArrays]:
     """Precompute every lane (pure, memoized) before anything is mutated."""
     out = []
     for _core_id, addresses, cache, _buffer, _stats in lanes:
-        key = (id(addresses), cache._num_sets, cache._associativity)
-        entry = _ARRAY_CACHE.get(key)
-        if entry is not None and entry[0] is addresses:
-            out.append(entry[1])
-            continue
-        arrays = _LaneArrays(addresses, cache._num_sets, cache._associativity)
-        _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, key, (addresses, arrays))
+        a, fingerprint = _trace_columns(addresses)
+        key = (fingerprint, cache._num_sets, cache._associativity)
+        arrays = _ARRAY_CACHE.get(key)
+        if arrays is None:
+            arrays = _LaneArrays(a, cache._num_sets, cache._associativity, fingerprint)
+            _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, key, arrays)
         out.append(arrays)
     return out
 
@@ -437,10 +471,10 @@ def _dense_table(arrays):
         or num_lanes * max_n * num_sets > _DENSE_TABLE_CELLS
     ):
         return None
-    key = (tuple(id(arr) for arr in arrays), num_sets)
-    entry = _TABLE_CACHE.get(key)
-    if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
-        return entry[1]
+    key = tuple(arr.key for arr in arrays)
+    value = _TABLE_CACHE.get(key)
+    if value is not None:
+        return value
     table = np.full((num_lanes, max_n, num_sets), -1, dtype=np.int32)
     lane_sizes = [arr.n for arr in arrays]
     positions = np.concatenate([np.arange(n) for n in lane_sizes])
@@ -453,7 +487,7 @@ def _dense_table(arrays):
         lane_addr[index, : arr.n] = arr.a
         lane_other[index, : arr.n] = arr.other_after
     value = (num_sets, table, lane_addr, lane_other)
-    _cache_put(_TABLE_CACHE, _TABLE_CACHE_MAX, key, (list(arrays), value))
+    _cache_put(_TABLE_CACHE, _TABLE_CACHE_MAX, key, value)
     return value
 
 
@@ -662,12 +696,11 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
 
 
 def _next_line_solution(arrays, degree: int) -> _NextLineSolution:
-    key = (tuple(id(arr) for arr in arrays), degree)
-    entry = _NEXT_LINE_CACHE.get(key)
-    if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
-        return entry[1]
-    solution = _solve_next_line(arrays, degree)
-    _cache_put(_NEXT_LINE_CACHE, _NEXT_LINE_CACHE_MAX, key, (list(arrays), solution))
+    key = (tuple(arr.key for arr in arrays), degree)
+    solution = _NEXT_LINE_CACHE.get(key)
+    if solution is None:
+        solution = _solve_next_line(arrays, degree)
+        _cache_put(_NEXT_LINE_CACHE, _NEXT_LINE_CACHE_MAX, key, solution)
     return solution
 
 
@@ -799,17 +832,16 @@ def _compactor_records_python(a, region_blocks, init_trigger, init_mask):
 
 def _records_for(lane, arr: _LaneArrays, prefetcher: PIFPrefetcher, region_blocks: int):
     """Compactor record stream for one lane, memoized for fresh compactors."""
-    core_id, addresses = lane[0], lane[1]
-    compactor = prefetcher._compactors[core_id]
+    compactor = prefetcher._compactors[lane[0]]
     fresh = compactor._trigger is None and compactor._mask == 0
-    key = (id(addresses), region_blocks)
+    key = (arr.key[0], region_blocks)
     if fresh:
-        entry = _RECORD_CACHE.get(key)
-        if entry is not None and entry[0] is addresses:
-            return entry[1]
+        records = _RECORD_CACHE.get(key)
+        if records is not None:
+            return records
     records = _compactor_records(arr.a, region_blocks, compactor._trigger, compactor._mask)
     if fresh:
-        _cache_put(_RECORD_CACHE, _RECORD_CACHE_MAX, key, (addresses, records))
+        _cache_put(_RECORD_CACHE, _RECORD_CACHE_MAX, key, records)
     return records
 
 
@@ -916,7 +948,7 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
     arrays = _lane_arrays_for(lanes)
     fresh = _pif_state_is_fresh(prefetcher, lanes)
     cache_key = (
-        tuple(id(arr) for arr in arrays),
+        tuple(arr.key for arr in arrays),
         tuple(lane[0] for lane in lanes),
         tuple(lane[3]._capacity for lane in lanes),
         region_blocks,
@@ -928,9 +960,9 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
     )
     per_lane = []
     if fresh:
-        entry = _PIF_CACHE.get(cache_key)
-        if entry is not None and all(ref is arr for ref, arr in zip(entry[0], arrays)):
-            for lane, arr, solution in zip(lanes, arrays, entry[1]):
+        solutions = _PIF_CACHE.get(cache_key)
+        if solutions is not None:
+            for lane, arr, solution in zip(lanes, arrays, solutions):
                 _apply_pif_solution(lane, arr, solution, prefetcher, inflight[lane[0]])
                 if llc is not None:
                     per_lane.append(
@@ -980,7 +1012,7 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
                 )
             )
     if fresh:
-        _cache_put(_PIF_CACHE, _PIF_CACHE_MAX, cache_key, (list(arrays), solutions))
+        _cache_put(_PIF_CACHE, _PIF_CACHE_MAX, cache_key, solutions)
     _replay_llc(llc, per_lane)
 
 

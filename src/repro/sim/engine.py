@@ -214,8 +214,11 @@ class SimulationEngine:
             )
             for t in cores
         }
+        # Lanes carry the CoreTrace itself: the numpy backend consumes its
+        # columnar buffer zero-copy (and keys memos on its fingerprint),
+        # the Python loops take the cached list view via address_list().
         lanes = [
-            (t.core_id, t.addresses, caches[t.core_id], buffers[t.core_id], results[t.core_id])
+            (t.core_id, t, caches[t.core_id], buffers[t.core_id], results[t.core_id])
             for t in cores
         ]
         # A prefetch needs the LLC round trip to arrive; expressed in demand
@@ -287,7 +290,13 @@ class SimulationEngine:
         step, lanes visited in core-id order, the demand classification of
         a miss preceding the prefetches it triggers.
         """
+        from ._fastpath import address_list
+
         on_access = prefetcher.on_access
+        lanes = [
+            (core_id, address_list(addresses), cache, buffer, stats)
+            for core_id, addresses, cache, buffer, stats in lanes
+        ]
         max_len = max(len(addresses) for _, addresses, _, _, _ in lanes)
         for step in range(max_len):
             for core_id, addresses, cache, buffer, stats in lanes:

@@ -115,6 +115,33 @@ class SyntheticCodeBase:
     def function(self, fid: int) -> Function:
         return self.functions[fid]
 
+    def walk_runs(
+        self,
+        fid: int,
+        rng: Random,
+        out: List[Tuple[int, int]],
+        max_depth: int,
+        _depth: int = 0,
+    ) -> None:
+        """Emit one execution of function ``fid`` as ``(base, length)`` runs.
+
+        This is the columnar-IR emission path: instead of appending block
+        addresses one by one, each straight-line run contributes a single
+        ``(base, num_blocks)`` pair, and the caller expands all runs in one
+        vectorized pass (:func:`repro.workloads.trace.expand_runs`).  The
+        RNG draw sequence — one draw per optional call site, in run order —
+        is exactly that of :meth:`walk`, so both paths produce identical
+        streams.
+        """
+        func = self.functions[fid]
+        for run_index, run in enumerate(func.runs):
+            out.append((run.base, run.num_blocks))
+            if _depth >= max_depth:
+                continue
+            for site in func.calls_after_run(run_index):
+                if site.probability >= 1.0 or rng.random() < site.probability:
+                    self.walk_runs(site.callee, rng, out, max_depth, _depth + 1)
+
     def walk(
         self,
         fid: int,
@@ -129,14 +156,10 @@ class SyntheticCodeBase:
         call sites are decided with ``rng``, which is what makes two
         executions of the same request differ.
         """
-        func = self.functions[fid]
-        for run_index, run in enumerate(func.runs):
-            out.extend(run.blocks())
-            if _depth >= max_depth:
-                continue
-            for site in func.calls_after_run(run_index):
-                if site.probability >= 1.0 or rng.random() < site.probability:
-                    self.walk(site.callee, rng, out, max_depth, _depth + 1)
+        runs: List[Tuple[int, int]] = []
+        self.walk_runs(fid, rng, runs, max_depth, _depth)
+        for base, length in runs:
+            out.extend(range(base, base + length))
 
 
 @dataclass

@@ -28,7 +28,7 @@ from .codebase import CodeBaseBuilder, SyntheticCodeBase
 from .osnoise import OSNoiseModel
 from .request import RequestTraceFactory
 from .suite import WorkloadSpec
-from .trace import CoreTrace, TraceSet
+from .trace import CoreTrace, Run, TraceSet
 
 #: Blocks reserved per workload for a virtualized SHIFT history buffer
 #: (generous: a 32K-record history at 12 records per LLC block needs 2731).
@@ -108,35 +108,64 @@ class WorkloadTraceGenerator:
         return self._noise
 
     def core_trace(self, core_id: int, blocks: Optional[int] = None) -> CoreTrace:
-        """Generate the fetch trace of one core."""
+        """Generate the fetch trace of one core.
+
+        Emission is columnar: requests and interrupt handlers contribute
+        ``(base, length)`` runs, noise injection splices handler runs at
+        block offsets (splitting the run it lands inside), and the final
+        address column is materialized in one vectorized pass by
+        :meth:`~repro.workloads.trace.CoreTrace.from_runs`.  The RNG draw
+        sequence is identical to the historical per-element path, so the
+        generated streams are byte-for-byte unchanged.
+        """
         target = blocks if blocks is not None else self._spec.blocks_per_core
         if target <= 0:
             raise ConfigurationError("trace length must be positive")
         # String seeds hash deterministically (unlike tuples / PYTHONHASHSEED).
         rng = Random(f"{self._seed}:{self._spec.name}:{core_id}")
-        addresses: List[int] = []
+        runs: List[Run] = []
+        total_blocks = 0
         requests = 0
         next_noise = self._noise.next_interval(rng)
-        while len(addresses) < target:
+        while total_blocks < target:
             request_type = self._factory.sample_request_type(rng)
-            start = len(addresses)
-            self._factory.emit_request(request_type, rng, addresses)
+            request_runs: List[Run] = []
+            emitted = self._factory.emit_request_runs(request_type, rng, request_runs)
             requests += 1
+            request_blocks = emitted
             # Inject interrupt handlers at the points the noise process fired
-            # during this request.  Splicing after emission keeps emit_request
-            # simple while placing handlers at pseudo-random offsets.
-            emitted = len(addresses) - start
+            # during this request.  Splice positions are block offsets into
+            # the request's evolving run list; they are strictly increasing
+            # (each advance covers the just-inserted handler), so one
+            # forward cursor over the runs suffices.
+            cursor = 0
+            prefix = 0  # blocks covered by request_runs[:cursor]
             while next_noise < emitted:
-                handler: List[int] = []
-                self._noise.emit_handler(rng, handler)
-                position = start + next_noise
-                addresses[position:position] = handler
-                next_noise += self._noise.next_interval(rng) + len(handler)
+                handler_runs: List[Run] = []
+                handler_blocks = self._noise.emit_handler_runs(rng, handler_runs)
+                position = next_noise
+                while prefix + request_runs[cursor][1] <= position:
+                    prefix += request_runs[cursor][1]
+                    cursor += 1
+                offset = position - prefix
+                if offset:
+                    base, length = request_runs[cursor]
+                    request_runs[cursor : cursor + 1] = [
+                        (base, offset),
+                        (base + offset, length - offset),
+                    ]
+                    prefix += offset
+                    cursor += 1
+                request_runs[cursor:cursor] = handler_runs
+                request_blocks += handler_blocks
+                next_noise += self._noise.next_interval(rng) + handler_blocks
             next_noise -= emitted
-        del addresses[target:]
-        return CoreTrace(
-            core_id=core_id,
-            addresses=addresses,
+            runs.extend(request_runs)
+            total_blocks += request_blocks
+        return CoreTrace.from_runs(
+            core_id,
+            runs,
+            limit=target,
             instructions_per_block=self._spec.instructions_per_block,
             workload=self._spec.name,
             requests=requests,

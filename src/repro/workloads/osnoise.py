@@ -72,6 +72,16 @@ class OSNoiseModel:
             interval += 1
         return interval
 
+    def emit_handler_runs(self, rng: Random, out: List[Tuple[int, int]]) -> int:
+        """Append one handler execution as a ``(base, length)`` run.
+
+        The columnar-IR emission path; same RNG draw (one ``randrange``) as
+        :meth:`emit_handler`.  Returns blocks covered.
+        """
+        handler = self._handlers[rng.randrange(len(self._handlers))]
+        out.append(handler)
+        return handler[1]
+
     def emit_handler(self, rng: Random, out: List[int]) -> int:
         """Append one handler execution to ``out``; returns blocks emitted."""
         base, length = self._handlers[rng.randrange(len(self._handlers))]

@@ -105,10 +105,15 @@ class RequestTraceFactory:
                 return request_type
         return self._request_types[-1]
 
-    def emit_request(self, request_type: RequestType, rng: Random, out: List[int]) -> int:
-        """Append one execution of ``request_type`` to ``out``.
+    def emit_request_runs(
+        self, request_type: RequestType, rng: Random, out: List[Tuple[int, int]]
+    ) -> int:
+        """Append one execution of ``request_type`` as ``(base, length)`` runs.
 
-        Returns the number of block addresses emitted.
+        The columnar-IR emission path: same RNG draw order as
+        :meth:`emit_request` (one mutation draw, then the walks), but the
+        output is a run list the trace generator expands vectorized.
+        Returns the number of block addresses the runs cover.
         """
         before = len(out)
         entries: Sequence[int] = request_type.entry_functions
@@ -117,8 +122,19 @@ class RequestTraceFactory:
             rng.shuffle(shuffled)
             entries = shuffled
         for fid in entries:
-            self._codebase.walk(fid, rng, out, max_depth=self._max_call_depth)
-        return len(out) - before
+            self._codebase.walk_runs(fid, rng, out, max_depth=self._max_call_depth)
+        return sum(length for _base, length in out[before:])
+
+    def emit_request(self, request_type: RequestType, rng: Random, out: List[int]) -> int:
+        """Append one execution of ``request_type`` to ``out``.
+
+        Returns the number of block addresses emitted.
+        """
+        runs: List[Tuple[int, int]] = []
+        emitted = self.emit_request_runs(request_type, rng, runs)
+        for base, length in runs:
+            out.extend(range(base, base + length))
+        return emitted
 
 
 __all__ = ["RequestType", "RequestTraceFactory"]

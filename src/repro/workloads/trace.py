@@ -1,46 +1,211 @@
-"""Trace containers.
+"""Trace containers: the columnar trace IR.
 
 A :class:`CoreTrace` is the retire-order instruction-fetch stream of one core
-at cache-block granularity: a flat list of block addresses.  A
-:class:`TraceSet` bundles the per-core traces of a whole CMP run together with
-the address layouts used to generate them, which the simulator needs to place
-virtualized SHIFT history buffers in non-conflicting regions.
+at cache-block granularity.  Since PR 5 the canonical storage is *columnar*:
+a single contiguous ``int64`` buffer — a NumPy array when NumPy is
+importable, an ``array('q')`` otherwise, so the pure-Python backend keeps
+zero hard dependencies.  Every consumer picks the view it needs:
+
+* the NumPy simulation backend reads :attr:`CoreTrace.array` zero-copy and
+  keys its cross-run memos on :attr:`CoreTrace.fingerprint` (a stable
+  content digest, carried by the IR so memory-mapped cache loads and
+  regenerated traces share warm precomputes);
+* the Python loops iterate :attr:`CoreTrace.addresses`, a lazily
+  materialized plain-``list`` view (iteration speed identical to the
+  pre-columnar representation);
+* the binary trace cache serializes the buffer bytes directly.
+
+Traces are immutable once constructed — buffers loaded from the
+memory-mapped cache are read-only, and nothing in the library writes to a
+trace buffer.
+
+A :class:`TraceSet` bundles the per-core traces of a whole CMP run together
+with the address layouts used to generate them, which the simulator needs to
+place virtualized SHIFT history buffers in non-conflicting regions.
+
+Generators do not build traces element by element: they emit *runs* —
+``(base, length)`` pairs describing contiguous block ranges — and
+:func:`expand_runs` materializes the column in one vectorized pass
+(``np.repeat`` + ``arange`` offsetting; see
+:meth:`CoreTrace.from_runs`).
 """
 
 from __future__ import annotations
 
+import hashlib
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import TraceError
 from .address_space import WorkloadAddressLayout
 
+try:  # NumPy is optional everywhere in the workloads layer.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the array('q') paths
+    _np = None
 
-@dataclass
+#: A contiguous straight-line block range: ``(base, num_blocks)``.
+Run = Tuple[int, int]
+
+
+def _as_column(addresses) -> "object":
+    """Normalize any int sequence into the canonical ``int64`` column."""
+    if _np is not None:
+        if isinstance(addresses, _np.ndarray):
+            if addresses.dtype == _np.int64 and addresses.ndim == 1:
+                return addresses
+            return addresses.astype(_np.int64).reshape(-1)
+        return _np.asarray(addresses, dtype=_np.int64)
+    if isinstance(addresses, array) and addresses.typecode == "q":
+        return addresses
+    return array("q", addresses)
+
+
+def _column_bytes(column) -> memoryview:
+    """The raw little-endian ``int64`` bytes of a column (no copy if possible)."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        contiguous = _np.ascontiguousarray(column)
+        # dtype equality is byte-order-aware: on little-endian hosts the
+        # native int64 *is* '<i8', on big-endian hosts it is not (its
+        # byteorder reports '=', never '>', so compare dtypes, not flags).
+        if contiguous.dtype != _np.dtype("<i8"):  # pragma: no cover - BE hosts
+            contiguous = contiguous.astype("<i8")
+        return contiguous.data
+    import sys
+
+    if sys.byteorder == "big":  # pragma: no cover - BE hosts
+        swapped = array("q", column)
+        swapped.byteswap()
+        return memoryview(swapped.tobytes())
+    return memoryview(column)
+
+
+def column_fingerprint(column) -> str:
+    """Stable content digest of an address column (dtype-independent)."""
+    digest = hashlib.sha256()
+    digest.update(_column_bytes(column))
+    return digest.hexdigest()
+
+
+def expand_runs(runs: Sequence[Run], limit: Optional[int] = None):
+    """Materialize ``(base, length)`` runs into one address column.
+
+    Vectorized when NumPy is available: the per-run base is repeated over
+    its length and a global ``arange`` minus the repeated run start yields
+    the within-run offsets — one pass, no Python-level per-element work.
+    ``limit`` truncates the expansion to the first ``limit`` blocks.
+    """
+    if _np is not None:
+        if not runs:
+            return _np.empty(0, dtype=_np.int64)
+        bases = _np.fromiter((r[0] for r in runs), dtype=_np.int64, count=len(runs))
+        lengths = _np.fromiter((r[1] for r in runs), dtype=_np.int64, count=len(runs))
+        ends = _np.cumsum(lengths)
+        total = int(ends[-1])
+        starts = ends - lengths
+        out = _np.repeat(bases - starts, lengths) + _np.arange(total, dtype=_np.int64)
+        return out[:limit] if limit is not None and limit < total else out
+    out = array("q")
+    if limit is None:
+        for base, length in runs:
+            out.extend(range(base, base + length))
+        return out
+    remaining = limit
+    for base, length in runs:
+        if remaining <= 0:
+            break
+        take = length if length <= remaining else remaining
+        out.extend(range(base, base + take))
+        remaining -= take
+    return out
+
+
 class CoreTrace:
-    """Retire-order fetch stream of a single core (block addresses)."""
+    """Retire-order fetch stream of a single core (block addresses).
 
-    core_id: int
-    addresses: List[int]
-    instructions_per_block: int = 10
-    workload: str = ""
-    requests: int = 0
-    #: Lazily computed distinct-block set; never part of equality or repr.
-    _footprint: Optional[FrozenSet[int]] = field(
-        default=None, init=False, repr=False, compare=False
+    ``addresses`` accepts any integer sequence (or an existing ``int64``
+    buffer, taken zero-copy) and is exposed back as a plain-list view; the
+    canonical columnar buffer lives in :attr:`array`.
+    """
+
+    __slots__ = (
+        "core_id",
+        "instructions_per_block",
+        "workload",
+        "requests",
+        "_column",
+        "_list",
+        "_footprint",
+        "_fingerprint",
     )
 
-    def __post_init__(self) -> None:
-        if self.core_id < 0:
+    def __init__(
+        self,
+        core_id: int,
+        addresses,
+        instructions_per_block: int = 10,
+        workload: str = "",
+        requests: int = 0,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if core_id < 0:
             raise TraceError("core id cannot be negative")
-        if not self.addresses:
-            raise TraceError(f"core {self.core_id} trace is empty")
-        if self.instructions_per_block < 1:
+        if instructions_per_block < 1:
             raise TraceError("a fetched block must retire at least one instruction")
+        column = _as_column(addresses)
+        if len(column) == 0:
+            raise TraceError(f"core {core_id} trace is empty")
+        self.core_id = core_id
+        self.instructions_per_block = instructions_per_block
+        self.workload = workload
+        self.requests = requests
+        self._column = column
+        self._list: Optional[List[int]] = None
+        self._footprint: Optional[FrozenSet[int]] = None
+        self._fingerprint = fingerprint
+
+    @classmethod
+    def from_runs(
+        cls,
+        core_id: int,
+        runs: Sequence[Run],
+        limit: Optional[int] = None,
+        **kwargs,
+    ) -> "CoreTrace":
+        """Build a trace by vectorized expansion of ``(base, length)`` runs."""
+        return cls(core_id, expand_runs(runs, limit=limit), **kwargs)
+
+    @property
+    def array(self):
+        """The canonical contiguous ``int64`` column (ndarray or array('q'))."""
+        return self._column
+
+    @property
+    def addresses(self) -> List[int]:
+        """Plain-``list`` view of the column (materialized once, cached)."""
+        if self._list is None:
+            if _np is not None and isinstance(self._column, _np.ndarray):
+                self._list = self._column.tolist()
+            else:
+                self._list = list(self._column)
+        return self._list
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the column; the memo key of the numpy backend.
+
+        Carried by the IR (and persisted in the trace cache's sidecar), so
+        two loads of the same entry — or a regeneration producing identical
+        content — share every content-keyed precompute.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = column_fingerprint(self._column)
+        return self._fingerprint
 
     @property
     def num_accesses(self) -> int:
-        return len(self.addresses)
+        return len(self._column)
 
     @property
     def num_instructions(self) -> int:
@@ -61,6 +226,62 @@ class CoreTrace:
 
     def __len__(self) -> int:
         return self.num_accesses
+
+    def __getitem__(self, index):
+        return self.addresses[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CoreTrace):
+            return NotImplemented
+        return (
+            self.core_id == other.core_id
+            and self.instructions_per_block == other.instructions_per_block
+            and self.workload == other.workload
+            and self.requests == other.requests
+            and self.num_accesses == other.num_accesses
+            and self.fingerprint == other.fingerprint
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.core_id, self.num_accesses, self.fingerprint))
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreTrace(core_id={self.core_id}, accesses={self.num_accesses}, "
+            f"workload={self.workload!r}, requests={self.requests})"
+        )
+
+    def __getstate__(self):
+        # Pickle the raw buffer bytes, not a memory-map or list view.
+        return {
+            "core_id": self.core_id,
+            "instructions_per_block": self.instructions_per_block,
+            "workload": self.workload,
+            "requests": self.requests,
+            "data": bytes(_column_bytes(self._column)),
+            "fingerprint": self._fingerprint,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.core_id = state["core_id"]
+        self.instructions_per_block = state["instructions_per_block"]
+        self.workload = state["workload"]
+        self.requests = state["requests"]
+        if _np is not None:
+            self._column = _np.frombuffer(state["data"], dtype="<i8").astype(
+                _np.int64, copy=False
+            )
+        else:
+            column = array("q")
+            column.frombytes(state["data"])
+            import sys
+
+            if sys.byteorder == "big":  # pragma: no cover - BE hosts
+                column.byteswap()
+            self._column = column
+        self._list = None
+        self._footprint = None
+        self._fingerprint = state["fingerprint"]
 
 
 @dataclass
@@ -125,4 +346,10 @@ class TraceSet:
         return self.num_cores
 
 
-__all__ = ["CoreTrace", "TraceSet"]
+__all__ = [
+    "CoreTrace",
+    "TraceSet",
+    "Run",
+    "column_fingerprint",
+    "expand_runs",
+]

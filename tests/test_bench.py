@@ -41,6 +41,17 @@ class TestBenchHarness:
             assert data["numpy_seconds"] > 0
             assert data["numpy_speedup"] > 0
 
+    def test_hotloop_records_trace_generation_section(self):
+        result = bench_hotloop(quick=True)
+        generation = result["trace_generation"]
+        assert set(generation["suite"]) == {"oltp_db2", "web_search"}
+        for entry in generation["suite"].values():
+            assert entry["cold_seconds"] > 0
+            assert entry["warm_seconds"] > 0
+        assert generation["cold_seconds"] > 0
+        assert generation["warm_speedup"] > 1.0, "cache loads must beat generation"
+        assert generation["old_vs_new_load_ratio"] > 0
+
 
 def hotloop_fixture():
     return {
@@ -55,6 +66,13 @@ def hotloop_fixture():
             "numpy_available": True,
             "backends_match": True,
             "total_numpy_speedup": 9.0,
+        },
+        "trace_generation": {
+            "suite": {"oltp_db2": {"cold_seconds": 0.5, "warm_seconds": 0.005}},
+            "cold_seconds": 0.5,
+            "warm_seconds": 0.005,
+            "warm_speedup": 100.0,
+            "old_vs_new_load_ratio": 4.0,
         },
     }
 
@@ -95,6 +113,24 @@ class TestCheckAgainst:
         current = copy.deepcopy(baseline)
         del current["engines"]["pif"]
         assert any("missing" in v for v in check_against(current, baseline))
+
+    def test_trace_generation_regression_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        # The committed 100x is clamped to the 10x cap before the tolerance,
+        # so 9.0 passes while 5.0 regresses.
+        current["trace_generation"]["warm_speedup"] = 9.0
+        assert check_against(current, baseline) == []
+        current["trace_generation"]["warm_speedup"] = 5.0
+        violations = check_against(current, baseline)
+        assert any("trace_generation.warm_speedup" in v for v in violations)
+
+    def test_missing_trace_generation_section_fails(self):
+        baseline = hotloop_fixture()
+        current = copy.deepcopy(baseline)
+        del current["trace_generation"]
+        violations = check_against(current, baseline)
+        assert any("trace_generation" in v for v in violations)
 
     def test_incomparable_config_fails_early(self):
         baseline = hotloop_fixture()

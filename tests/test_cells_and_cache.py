@@ -96,8 +96,12 @@ class TestTraceCache:
         cache = TraceCache(tmp_path)
         key, trace = self._key_and_trace()
         cache.store(key, trace)
-        [entry] = tmp_path.glob("*.pkl")
-        entry.write_bytes(b"not a pickle")
+        [column] = tmp_path.glob("*.npy")
+        column.write_bytes(b"not an address column")
+        assert cache.load(key) is None
+        cache.store(key, trace)
+        [sidecar] = tmp_path.glob("*.json")
+        sidecar.write_text("{not json")
         assert cache.load(key) is None
 
     def test_key_depends_on_generation_inputs(self):
@@ -118,4 +122,4 @@ class TestTraceCache:
         cells_module._TRACE_MEMO.clear()  # force the disk path
         second = trace_set_for(cell, str(tmp_path))
         assert [t.addresses for t in first.traces] == [t.addresses for t in second.traces]
-        assert list(tmp_path.glob("*.pkl"))
+        assert list(tmp_path.glob("*.npy")) and list(tmp_path.glob("*.json"))

@@ -1,4 +1,4 @@
-"""TraceCache bounds: LRU size cap and stale-version pruning."""
+"""TraceCache bounds: LRU size cap, stale-version pruning, concurrency."""
 
 import os
 import time
@@ -26,8 +26,19 @@ def make_trace(seed: int, blocks: int = 300):
     return key, trace
 
 
-def entry_files(path):
-    return sorted(path.glob("*.pkl"))
+def entry_sidecars(path):
+    return sorted(path.glob(f"v{CACHE_FORMAT_VERSION}-*.json"))
+
+
+def entry_size(cache, key):
+    return (
+        cache._sidecar_path(key).stat().st_size + cache._column_path(key).stat().st_size
+    )
+
+
+def touch_entry(cache, key, timestamp):
+    for path in (cache._sidecar_path(key), cache._column_path(key)):
+        os.utime(path, (timestamp, timestamp))
 
 
 class TestSizeCap:
@@ -35,9 +46,8 @@ class TestSizeCap:
         key0, trace = make_trace(0)
         probe = TraceCache(tmp_path, max_bytes=0)
         probe.store(key0, trace)
-        entry_size = entry_files(tmp_path)[0].stat().st_size
-        for path in entry_files(tmp_path):
-            path.unlink()
+        size = entry_size(probe, key0)
+        probe._remove_entry(key0)
         # Room for two entries; capping after four stores must keep only
         # the two newest (distinct mtimes make LRU order deterministic on
         # coarse filesystem timestamps).
@@ -47,8 +57,8 @@ class TestSizeCap:
             key, trace = make_trace(seed)
             keys.append(key)
             probe.store(key, trace)
-            os.utime(probe._path(key), (base + seed, base + seed))
-        cache = TraceCache(tmp_path, max_bytes=int(entry_size * 2.5))
+            touch_entry(probe, key, base + seed)
+        cache = TraceCache(tmp_path, max_bytes=int(size * 2.5))
         cache._enforce_cap()
         assert cache.evicted == 2
         assert cache.load(keys[0]) is None
@@ -60,13 +70,13 @@ class TestSizeCap:
         key0, trace0 = make_trace(0)
         probe = TraceCache(tmp_path, max_bytes=0)
         probe.store(key0, trace0)
-        entry_size = entry_files(tmp_path)[0].stat().st_size
-        cache = TraceCache(tmp_path, max_bytes=int(entry_size * 2.5))
+        size = entry_size(probe, key0)
+        cache = TraceCache(tmp_path, max_bytes=int(size * 2.5))
         key1, trace1 = make_trace(1)
         cache.store(key1, trace1)
         now = time.time()
-        os.utime(cache._path(key0), (now - 100, now - 100))
-        os.utime(cache._path(key1), (now - 50, now - 50))
+        touch_entry(cache, key0, now - 100)
+        touch_entry(cache, key1, now - 50)
         # Touch the older entry via load; the next store must evict key1.
         assert cache.load(key0) is not None
         key2, trace2 = make_trace(2)
@@ -80,7 +90,7 @@ class TestSizeCap:
             key, trace = make_trace(seed)
             cache.store(key, trace)
         assert cache.evicted == 0
-        assert len(entry_files(tmp_path)) == 3
+        assert len(entry_sidecars(tmp_path)) == 3
 
     def test_env_var_sets_cap(self, tmp_path, monkeypatch):
         monkeypatch.setenv(MAX_BYTES_ENV_VAR, "12345")
@@ -98,23 +108,48 @@ class TestVersionPruning:
         digest = "deadbeef" * 8  # 64 hex chars, like a real entry name
         stale_old_format = tmp_path / f"{digest}.pkl"
         stale_old_format.write_bytes(b"legacy PR-2 entry")
-        stale_version = tmp_path / f"v{CACHE_FORMAT_VERSION - 1}-{digest}.pkl"
-        stale_version.write_bytes(b"older version entry")
-        newer_version = tmp_path / f"v{CACHE_FORMAT_VERSION + 1}-{digest}.pkl"
+        stale_pickle_version = tmp_path / f"v{CACHE_FORMAT_VERSION - 1}-{digest}.pkl"
+        stale_pickle_version.write_bytes(b"pickle-era versioned entry")
+        newer_version = tmp_path / f"v{CACHE_FORMAT_VERSION + 1}-{digest}.npy"
         newer_version.write_bytes(b"a newer checkout's entry")
         unrelated = tmp_path / "notes.txt"
         unrelated.write_text("keep me")
         foreign_pickle = tmp_path / "model.pkl"
         foreign_pickle.write_bytes(b"someone else's pickle")
+        foreign_npy = tmp_path / "weights.npy"
+        foreign_npy.write_bytes(b"someone else's array")
+        # Bare sha256-hex names were only ever written as .pkl; unversioned
+        # hex .npy/.json belong to other content-addressed stores.
+        foreign_hex_npy = tmp_path / f"{digest}.npy"
+        foreign_hex_npy.write_bytes(b"another store's artifact")
+        foreign_hex_json = tmp_path / f"{digest}.json"
+        foreign_hex_json.write_text("{}")
         cache = TraceCache(tmp_path)
         key, trace = make_trace(0)
         cache.store(key, trace)
         assert not stale_old_format.exists()
-        assert not stale_version.exists()
+        assert not stale_pickle_version.exists()
         assert newer_version.exists(), "a newer checkout's entries must survive"
         assert unrelated.exists()
         assert foreign_pickle.exists(), "pruning must not touch foreign .pkl files"
+        assert foreign_npy.exists(), "pruning must not touch foreign .npy files"
+        assert foreign_hex_npy.exists(), "bare hex .npy is foreign, not PR-2-era"
+        assert foreign_hex_json.exists(), "bare hex .json is foreign, not PR-2-era"
         assert cache.load(key) is not None
+
+    def test_v2_pickle_is_pruned_and_regenerated_as_v3(self, tmp_path):
+        """The migration path: a PR-4-era pickle entry disappears on open
+        and the same logical trace comes back as a binary v3 entry."""
+        key, trace = make_trace(0)
+        v2_entry = tmp_path / f"v2-{key}.pkl"
+        v2_entry.write_bytes(b"\x80\x04 not actually a TraceSet pickle")
+        cache = TraceCache(tmp_path)
+        assert not v2_entry.exists(), "v2 entries must be pruned on open"
+        assert cache.load(key) is None  # pruned, so a miss: regenerate
+        cache.store(key, trace)
+        assert cache._sidecar_path(key).exists()
+        assert cache._column_path(key).exists()
+        assert cache.load(key) == trace
 
     def test_current_version_entries_survive_reopen(self, tmp_path):
         cache = TraceCache(tmp_path)
@@ -122,3 +157,79 @@ class TestVersionPruning:
         cache.store(key, trace)
         reopened = TraceCache(tmp_path)
         assert reopened.load(key) is not None
+
+
+class TestConcurrentWorkers:
+    """Maintenance must tolerate sibling workers racing on the same dir."""
+
+    def test_enforce_cap_tolerates_already_deleted_entries(self, tmp_path, monkeypatch):
+        writer = TraceCache(tmp_path, max_bytes=0)
+        for seed in range(2):
+            key, trace = make_trace(seed)
+            writer.store(key, trace)
+        capped = TraceCache(tmp_path, max_bytes=1)  # everything is over cap
+        stale_listing = capped._entries_by_age()
+        assert len(stale_listing) == 2
+        # A sibling worker deletes the oldest entry between our listing and
+        # our unlink: pin the stale listing and remove the files behind it.
+        writer._remove_entry(stale_listing[0][2])
+        monkeypatch.setattr(TraceCache, "_entries_by_age", lambda self: stale_listing)
+        capped._enforce_cap()  # must not raise on the vanished entry
+        monkeypatch.undo()
+        assert capped._entries_by_age() == []
+        assert capped.evicted == 1  # only the entry *we* removed counts
+
+    def test_prune_tolerates_vanishing_files(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        digest = "cafebabe" * 8
+        stale = tmp_path / f"v2-{digest}.pkl"
+        stale.write_bytes(b"stale")
+        original_unlink = Path.unlink
+        raced = []
+
+        # Patch Path.unlink itself (pruning goes through it on every
+        # Python version; os.unlink is bypassed by pathlib on 3.10).
+        def racing_unlink(self, *args, **kwargs):
+            original_unlink(self)  # the sibling wins the race ...
+            raced.append(self)
+            return original_unlink(self)  # ... and ours raises
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        TraceCache(tmp_path)  # must not raise
+        monkeypatch.undo()
+        assert raced == [stale], "the race must actually have been exercised"
+        assert not stale.exists()
+
+    def test_sidecar_without_column_is_a_miss(self, tmp_path):
+        """Half-deleted entries (eviction removes the sidecar first, but a
+        crash can leave either half) fall back to regeneration."""
+        cache = TraceCache(tmp_path)
+        key, trace = make_trace(0)
+        cache.store(key, trace)
+        cache._column_path(key).unlink()
+        assert cache.load(key) is None
+        cache.store(key, trace)
+        cache._sidecar_path(key).unlink()
+        assert cache.load(key) is None
+
+    def test_orphaned_column_files_count_against_the_cap(self, tmp_path):
+        """A crash between the column and sidecar publishes must not leak
+        invisible bytes forever: orphans are listed, capped and removed."""
+        writer = TraceCache(tmp_path, max_bytes=0)
+        key, trace = make_trace(0)
+        writer.store(key, trace)
+        writer._sidecar_path(key).unlink()  # simulate the half-published state
+        orphan = writer._column_path(key)
+        assert orphan.exists()
+        entries = writer._entries_by_age()
+        assert [entry[2] for entry in entries] == [key], "orphan must be listed"
+        capped = TraceCache(tmp_path, max_bytes=1)
+        capped._enforce_cap()
+        assert not orphan.exists(), "orphan bytes must be reclaimable"
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key, trace = make_trace(0)
+        cache.store(key, trace)
+        assert not list(tmp_path.glob("*.tmp"))
