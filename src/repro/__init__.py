@@ -1,5 +1,22 @@
 """Reproduction of SHIFT: shared history instruction fetch (MICRO 2013).
 
+This package's stable public API is re-exported here: build experiments
+with :func:`run_experiment` / :func:`run_sweep` / :func:`run_cell`, make
+re-runs incremental with :class:`ResultCache`, and serialize reports with
+the schema-versioned ``to_dict``/``from_dict`` round-trips::
+
+    import repro
+
+    report = repro.run_experiment(workloads=["oltp_db2"], num_cores=4,
+                                  result_cache=".result_cache")
+    payload = report.to_dict()                       # what repro.serve returns
+    same = repro.ExperimentReport.from_dict(payload)
+
+The command-line front door is ``python -m repro {experiments,sweeps,bench,
+serve}`` (each subcommand also remains callable as ``python -m
+repro.<name>``); ``python -m repro.serve`` exposes the same drivers as a
+long-running HTTP service.
+
 Subpackages
 -----------
 ``repro.config``
@@ -10,10 +27,44 @@ Subpackages
     Trace-driven L1-I cache, prefetcher engines and the timing model.
 ``repro.experiments``
     End-to-end drivers comparing no-prefetch, next-line, PIF and SHIFT.
+``repro.sweeps``
+    Sensitivity sweeps over the paper's experimental axes.
+``repro.results``
+    Content-addressed on-disk cache of simulation results.
+``repro.serve``
+    HTTP experiment service with a background job queue.
+``repro.bench``
+    Performance harness and regression gate.
 """
 
 __version__ = "0.1.0"
 
 from . import errors
+from .experiments import (
+    REPORT_SCHEMA_VERSION,
+    ExperimentReport,
+    format_report,
+    run_consolidated_experiment,
+    run_experiment,
+)
+from .experiments.cells import CellSpec, run_cell, system_for
+from .results import ResultCache, result_cache_key
+from .sweeps import SweepReport, format_sweep, run_sweep
 
-__all__ = ["errors", "__version__"]
+__all__ = [
+    "__version__",
+    "errors",
+    "run_experiment",
+    "run_consolidated_experiment",
+    "run_sweep",
+    "run_cell",
+    "CellSpec",
+    "system_for",
+    "ExperimentReport",
+    "SweepReport",
+    "format_report",
+    "format_sweep",
+    "ResultCache",
+    "result_cache_key",
+    "REPORT_SCHEMA_VERSION",
+]

@@ -1,0 +1,51 @@
+"""One front door for the four module CLIs: ``python -m repro <command>``.
+
+``python -m repro experiments --check`` is ``python -m repro.experiments
+--check``, and likewise for ``sweeps``, ``bench`` and ``serve``.  The
+module entry points stay importable and runnable on their own; this
+dispatcher only routes, so the two spellings can never drift.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+COMMANDS = ("experiments", "sweeps", "bench", "serve")
+
+_USAGE = (
+    "usage: python -m repro {experiments,sweeps,bench,serve} [options]\n"
+    "\n"
+    "commands:\n"
+    "  experiments  compare the prefetch engines on the workload suite\n"
+    "  sweeps       sensitivity sweeps over the paper's axes\n"
+    "  bench        performance harness and regression gate\n"
+    "  serve        long-running HTTP experiment service\n"
+    "\n"
+    "run 'python -m repro <command> --help' for command options\n"
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if args else 2
+    command, rest = args[0], args[1:]
+    if command == "experiments":
+        from .experiments.__main__ import main as run
+    elif command == "sweeps":
+        from .sweeps.__main__ import main as run
+    elif command == "bench":
+        from .bench.__main__ import main as run
+    elif command == "serve":
+        from .serve.__main__ import main as run
+    else:
+        print(f"error: unknown command {command!r}; known: {', '.join(COMMANDS)}", file=sys.stderr)
+        print(_USAGE, end="", file=sys.stderr)
+        return 2
+    return run(rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

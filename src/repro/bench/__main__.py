@@ -7,6 +7,7 @@ import json
 import sys
 from pathlib import Path
 
+from ..cli import add_options
 from . import (
     BENCHMARK_NAMES,
     DEFAULT_REGRESSION_TOLERANCE,
@@ -23,8 +24,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Benchmark the optimized simulation against the frozen "
         "PR-1 engine (and the numpy backend against the python one), record "
         "BENCH_*.json trajectory files, and optionally gate against a "
-        "committed baseline.",
+        "committed baseline.  With --trace-cache the experiment benchmark "
+        "additionally times a warm-cache pass.",
     )
+    add_options(parser, "seed", "trace-cache")
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -35,17 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=",".join(BENCHMARK_NAMES),
         help=f"comma-separated subset of: {', '.join(BENCHMARK_NAMES)}",
     )
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--repeats", type=int, default=None, help="timing repeats (best-of); default 1/3"
     )
     parser.add_argument("--out", default=".", metavar="DIR", help="output directory")
-    parser.add_argument(
-        "--trace-cache",
-        default=None,
-        metavar="DIR",
-        help="also time the experiment with a warm on-disk trace cache",
-    )
     parser.add_argument(
         "--check-against",
         default=None,

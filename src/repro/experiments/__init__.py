@@ -35,6 +35,26 @@ from .cells import CellSpec, execute_cells, system_for
 #: Engines compared by the default experiment, in report order.
 DEFAULT_ENGINES: Tuple[str, ...] = ("none", "next_line", "pif", "shift")
 
+#: Serialization schema of :class:`ExperimentReport` /
+#: :class:`~repro.sweeps.SweepReport` dicts.  Bump on any incompatible
+#: layout change; ``from_dict`` rejects dicts tagged with another version.
+#: Dicts without the tag (pre-schema files) are read as version 1.
+REPORT_SCHEMA_VERSION = 1
+
+
+def check_schema_version(data: Dict[str, object], what: str) -> None:
+    """Reject serialized reports from an incompatible schema.
+
+    The service returns report dicts verbatim and clients feed them back to
+    ``from_dict``, so version skew must fail loudly, not half-parse.
+    """
+    version = data.get("schema_version", REPORT_SCHEMA_VERSION)
+    if version != REPORT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{what} has schema_version {version!r}; this build reads "
+            f"version {REPORT_SCHEMA_VERSION}"
+        )
+
 
 @dataclass
 class EngineOutcome:
@@ -122,6 +142,11 @@ class ExperimentReport:
     #: Input parameters of the run (seed, scale, engine list, ...), carried
     #: so serialized reports are self-describing.
     params: Dict[str, object] = field(default_factory=dict)
+    #: Result-cache traffic of the run (hits/misses/stored), populated when
+    #: ``run_experiment(result_cache=...)`` was given a cache.  Execution
+    #: telemetry, not a result: deliberately excluded from ``to_dict`` and
+    #: comparison so cached and uncached reports stay byte-identical.
+    result_cache_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     def check_paper_ordering(self, tolerance: float = 0.10) -> List[str]:
         """Verify the paper's qualitative result on every row.
@@ -158,6 +183,7 @@ class ExperimentReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "system_name": self.system_name,
             "params": dict(self.params),
             "rows": [row.to_dict() for row in self.rows],
@@ -165,6 +191,7 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentReport":
+        check_schema_version(data, "experiment report")
         return cls(
             system_name=str(data["system_name"]),
             rows=[ExperimentRow.from_dict(row) for row in list(data["rows"])],
@@ -190,6 +217,23 @@ class ExperimentReport:
     @classmethod
     def load(cls, path: "str | Path") -> "ExperimentReport":
         return cls.from_json(Path(path).read_text())
+
+
+def _open_result_cache(result_cache):
+    """Normalize the ``result_cache=`` argument and snapshot its counters,
+    so a cache shared across runs (sweeps, the service) still yields
+    per-run traffic stats."""
+    from ..results import as_result_cache
+
+    cache = as_result_cache(result_cache)
+    return cache, (cache.stats() if cache is not None else None)
+
+
+def _attach_cache_stats(report: "ExperimentReport", cache, before) -> None:
+    if cache is None:
+        return
+    after = cache.stats()
+    report.result_cache_stats = {key: after[key] - before[key] for key in after}
 
 
 def _outcome_for(
@@ -252,6 +296,7 @@ def run_experiment(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    result_cache: "str | Path | object | None" = None,
 ) -> ExperimentReport:
     """Run the prefetcher comparison and return a report.
 
@@ -266,9 +311,13 @@ def run_experiment(
     ``trace_cache`` names a directory where generated traces are shared
     between engines, processes and runs.  ``backend`` selects the
     simulation backend (``python`` / ``numpy``; default ``REPRO_BACKEND``
-    or ``python``).  The report is bit-identical for every (workers,
-    trace_cache, backend) combination, which is why none of the three
-    appear in the report params.
+    or ``python``).  ``result_cache`` (a directory or a
+    :class:`~repro.results.ResultCache`) skips simulation entirely for
+    cells whose content-addressed result is already stored; the traffic
+    counts land in :attr:`ExperimentReport.result_cache_stats`.  The report
+    is bit-identical for every (workers, trace_cache, backend,
+    result_cache) combination, which is why none of the four appear in the
+    report params.
     """
     if llc_kb_per_core is not None and llc_kb_per_core < 1:
         raise ConfigurationError("llc_kb_per_core must be at least 1 KB per core")
@@ -296,11 +345,13 @@ def run_experiment(
             )
             cells[(name, engine)] = cell
             order.append(cell)
+    cache, before = _open_result_cache(result_cache)
     results = execute_cells(
         order,
         workers=workers,
         trace_cache_dir=str(trace_cache) if trace_cache is not None else None,
         chunksize=len(engines),
+        result_cache=cache,
     )
     params: Dict[str, object] = {
         "system": system,
@@ -313,7 +364,9 @@ def run_experiment(
         "history_entries": history_entries,
         "llc_kb_per_core": llc_kb_per_core,
     }
-    return _merge_report(system, sys_config, names, engines, cells, results, params)
+    report = _merge_report(system, sys_config, names, engines, cells, results, params)
+    _attach_cache_stats(report, cache, before)
+    return report
 
 
 def run_consolidated_experiment(
@@ -329,6 +382,7 @@ def run_consolidated_experiment(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    result_cache: "str | Path | object | None" = None,
 ) -> ExperimentReport:
     """Run the comparison on consolidated-server mixes (Section 5.5).
 
@@ -369,11 +423,13 @@ def run_consolidated_experiment(
             )
             cells[(label, engine)] = cell
             order.append(cell)
+    cache, before = _open_result_cache(result_cache)
     results = execute_cells(
         order,
         workers=workers,
         trace_cache_dir=str(trace_cache) if trace_cache is not None else None,
         chunksize=len(engines),
+        result_cache=cache,
     )
     params: Dict[str, object] = {
         "system": system,
@@ -386,7 +442,9 @@ def run_consolidated_experiment(
         "history_entries": history_entries,
         "llc_kb_per_core": llc_kb_per_core,
     }
-    return _merge_report(system, sys_config, labels, engines, cells, results, params)
+    report = _merge_report(system, sys_config, labels, engines, cells, results, params)
+    _attach_cache_stats(report, cache, before)
+    return report
 
 
 def _format_bytes(num_bytes: int) -> str:
@@ -452,6 +510,8 @@ def format_report(report: ExperimentReport) -> str:
 
 __all__ = [
     "DEFAULT_ENGINES",
+    "REPORT_SCHEMA_VERSION",
+    "check_schema_version",
     "EngineOutcome",
     "ExperimentRow",
     "ExperimentReport",

@@ -6,9 +6,8 @@ import argparse
 import sys
 import time
 
+from ..cli import add_options, result_cache_from_args, workloads_from_args
 from ..errors import ReproError
-from ..workloads.suite import WORKLOAD_NAMES
-from ..workloads.trace_cache import DEFAULT_CACHE_DIR
 from . import format_report, run_experiment
 
 
@@ -17,31 +16,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Compare no-prefetch, next-line, PIF and SHIFT on the workload suite.",
     )
-    parser.add_argument(
-        "--system",
-        choices=("scaled", "paper"),
-        default="scaled",
-        help="system configuration (default: scaled)",
+    add_options(
+        parser,
+        "system",
+        "scale",
+        "workloads",
+        "cores",
+        "blocks",
+        "seed",
+        "workers",
+        "trace-cache",
+        "backend",
+        "json",
+        "result-cache",
     )
-    parser.add_argument(
-        "--scale",
-        type=int,
-        default=16,
-        help="shrink factor for the scaled system (default: 16)",
-    )
-    parser.add_argument(
-        "--workloads",
-        default=None,
-        help=f"comma-separated subset of: {', '.join(WORKLOAD_NAMES)}",
-    )
-    parser.add_argument("--cores", type=int, default=None, help="cores to trace (default: all)")
-    parser.add_argument(
-        "--blocks",
-        type=int,
-        default=None,
-        help="trace length per core in blocks (default: per-workload)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed (default: 0)")
     parser.add_argument(
         "--history-entries",
         type=int,
@@ -55,32 +43,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale LLC KB per core override (default: 512)",
     )
     parser.add_argument(
-        "--backend",
-        default=None,
-        metavar="NAME",
-        help="simulation backend: python or numpy "
-        "(default: $REPRO_BACKEND or python); results are identical",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan (workload, engine) cells over N processes "
-        "(default: $REPRO_WORKERS or serial)",
-    )
-    parser.add_argument(
-        "--trace-cache",
-        default=None,
-        metavar="DIR",
-        help=f"directory to cache generated traces in (e.g. {DEFAULT_CACHE_DIR})",
-    )
-    parser.add_argument(
-        "--json",
-        default=None,
-        metavar="PATH",
-        help="also write the report as canonical JSON to PATH",
-    )
-    parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero unless SHIFT is within 10%% of PIF and both beat next-line",
@@ -90,13 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    workloads = args.workloads.split(",") if args.workloads else None
     started = time.time()
     try:
         report = run_experiment(
             system=args.system,
             scale=args.scale,
-            workloads=workloads,
+            workloads=workloads_from_args(args),
             num_cores=args.cores,
             blocks_per_core=args.blocks,
             seed=args.seed,
@@ -105,11 +66,18 @@ def main(argv=None) -> int:
             workers=args.workers,
             trace_cache=args.trace_cache,
             backend=args.backend,
+            result_cache=result_cache_from_args(args),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_report(report))
+    if report.result_cache_stats is not None:
+        stats = report.result_cache_stats
+        print(
+            f"result cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['stored']} stored"
+        )
     print(f"({time.time() - started:.1f}s)")
     if args.json:
         report.save(args.json)

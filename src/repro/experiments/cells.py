@@ -236,6 +236,7 @@ def execute_cells(
     workers: Optional[int] = None,
     trace_cache_dir: Optional[str] = None,
     chunksize: Optional[int] = None,
+    result_cache: "object | str | None" = None,
 ) -> Dict[CellSpec, SimulationResult]:
     """Run every cell, serially or across processes; merge deterministically.
 
@@ -245,17 +246,55 @@ def execute_cells(
     cell lists are workload-major (all engines of one workload adjacent)
     pass the engine count so a workload's cells share one worker's trace
     memo instead of regenerating the trace per worker.
+
+    ``result_cache`` (a :class:`~repro.results.ResultCache` or a directory
+    path) short-circuits cells whose content key already has a stored
+    result: only the missing cells are simulated (serially or in the pool),
+    and their results are published back to the cache from the parent
+    process.  Cached and computed results are byte-identical by
+    construction, so every execution mode still merges to the same report;
+    the cache object's ``hits``/``misses``/``stored`` counters record what
+    this call recomputed.
     """
+    from ..results import as_result_cache
+
+    cache = as_result_cache(result_cache)
+    cached: Dict[CellSpec, SimulationResult] = {}
+    keys: Dict[CellSpec, str] = {}
+    pending: List[CellSpec] = []
+    if cache is not None:
+        for cell in cells:
+            if cell in cached or cell in keys:
+                continue
+            key = cache.key_for(cell)
+            loaded = cache.load(key, system_for_cell(cell))
+            if loaded is not None:
+                cached[cell] = loaded
+            else:
+                keys[cell] = key
+                pending.append(cell)
+    else:
+        seen = set()
+        for cell in cells:
+            if cell not in seen:
+                seen.add(cell)
+                pending.append(cell)
+
     effective = resolve_workers(workers)
-    args = [(cell, trace_cache_dir) for cell in cells]
-    if effective > 1 and len(cells) > 1:
+    args = [(cell, trace_cache_dir) for cell in pending]
+    if effective > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=effective) as pool:
-            results: List[SimulationResult] = list(
+            computed: List[SimulationResult] = list(
                 pool.map(_execute_cell, args, chunksize=chunksize or 1)
             )
     else:
-        results = [_execute_cell(arg) for arg in args]
-    return dict(zip(cells, results))
+        computed = [_execute_cell(arg) for arg in args]
+    results = dict(zip(pending, computed))
+    if cache is not None:
+        for cell, result in results.items():
+            cache.store(keys[cell], result)
+    results.update(cached)
+    return {cell: results[cell] for cell in cells}
 
 
 __all__ = [

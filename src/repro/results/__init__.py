@@ -1,0 +1,525 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every experiment cell is deterministic in its inputs: the trace set is a
+pure function of (workload specs, core count, seed, trace length) — that is
+what :func:`~repro.experiments.cells.trace_key_for` digests — and the
+simulation on top of it is a pure function of the engine, its history
+budget, and the full :class:`~repro.config.SystemConfig`.  A
+:class:`SimulationResult` can therefore be cached under a content key and
+reused across runs: re-running an experiment or a sweep after changing one
+axis value recomputes only the cells whose key changed, and a long-running
+service (:mod:`repro.serve`) answers repeated requests from disk instead of
+from the simulator.
+
+The key (:func:`result_cache_key`) is the SHA-256 of
+
+* the cell's *trace key* — the generation-input digest the trace cache
+  already uses, covering workload specs, core count, seed and trace length;
+* the engine name and its history-budget override;
+* a digest of the resolved :class:`~repro.config.SystemConfig` (so L1/LLC
+  geometry, latencies and scale all invalidate results);
+* a *code-version tag* (:data:`SIM_CODE_VERSION`) that must be bumped
+  whenever simulation semantics change — the invalidation lever for code,
+  as the config digest is for parameters.
+
+The execution *backend* is deliberately excluded: results are byte-identical
+across backends (pinned by the parity tests), so a result computed by one
+backend is valid for all.
+
+Entries follow the trace-cache v3 discipline exactly: a raw NPY ``int64``
+column (per-core counters, then LLC bank-access counts) plus a JSON sidecar
+(``r1-<sha256>.npy`` / ``.json``), published via temp file +
+:func:`os.replace` (columns before sidecar, so a visible sidecar always has
+its column), bounded by an LRU byte cap
+(``REPRO_RESULT_CACHE_MAX_BYTES``), pruned of stale format versions on
+open, and tolerant of concurrent workers — identical keys produce identical
+bytes, and any read problem (truncation, corruption, version skew) is a
+miss, never an error.
+
+The cached payload is purely integer counters, and every report metric
+(coverage, speedup, MPKI, LLC hit ratios) is derived from those integers
+plus the reconstructed system config, so reports built from cached results
+are *byte*-identical to cold runs — the invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import sys
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..sim.engine import CoreResult, SimulationResult
+from ..sim.llc import LLCStats
+from ..workloads.trace_cache import _npy_header, _parse_npy_header
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the array('q') paths
+    _np = None
+
+#: Bump when the on-disk entry layout changes (key prefix + sidecar format).
+RESULT_FORMAT_VERSION = 1
+
+#: Code-version tag folded into every result key.  Bump whenever simulation
+#: *semantics* change — an engine fix, a timing-model change, a new counter —
+#: so previously cached results can never be served for the new code.  The
+#: config digest invalidates parameter changes; this tag invalidates code.
+SIM_CODE_VERSION = "sim-v1-pr6"
+
+#: Default cache directory (sibling of ``.trace_cache``).
+DEFAULT_RESULT_CACHE_DIR = ".result_cache"
+
+#: Environment variable naming a default cache directory: set
+#: ``REPRO_RESULT_CACHE=.result_cache`` to switch the CLIs on without the
+#: ``--result-cache`` flag (``--no-result-cache`` still wins).
+RESULT_CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+
+#: Environment variable overriding the size cap (bytes; 0 = unlimited).
+MAX_BYTES_ENV_VAR = "REPRO_RESULT_CACHE_MAX_BYTES"
+
+#: Default on-disk budget.  Result entries are a few hundred bytes of
+#: counters each, so 64 MB holds ~10^5 cells — months of sweep traffic.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Filename prefix of current-version entries.
+_VERSION_PREFIX = f"r{RESULT_FORMAT_VERSION}-"
+
+#: Every name shape this cache family has ever written.  Pruning must not
+#: touch anything else: the directory may be shared with other
+#: content-addressed stores (the trace cache uses ``v<N>-`` prefixes).
+_ENTRY_NAME_RE = re.compile(r"^r(\d+)-[0-9a-f]{64}\.(?:npy|json)$")
+
+#: CoreResult counter fields, in column order.  Append-only: the sidecar
+#: records the list it was written with, and a mismatch is a miss.
+_CORE_FIELDS: Tuple[str, ...] = (
+    "core_id",
+    "accesses",
+    "instructions",
+    "demand_hits",
+    "prefetch_hits",
+    "late_hits",
+    "misses",
+    "prefetches_issued",
+    "prefetches_unused",
+    "history_block_reads",
+    "llc_hits",
+    "memory_misses",
+)
+
+#: LLCStats scalar fields, in sidecar order (bank_accesses rides the column).
+_LLC_FIELDS: Tuple[str, ...] = (
+    "total_blocks",
+    "num_sets",
+    "associativity",
+    "banks",
+    "pinned_blocks",
+    "resident_blocks",
+    "demand_hits",
+    "demand_misses",
+    "prefetch_hits",
+    "prefetch_misses",
+    "history_reads",
+)
+
+
+def _resolve_max_bytes(max_bytes: Optional[int]) -> int:
+    """Effective cap: explicit argument > environment > default."""
+    if max_bytes is not None:
+        if max_bytes < 0:
+            raise ConfigurationError("result cache max_bytes cannot be negative")
+        return max_bytes
+    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{MAX_BYTES_ENV_VAR} must be an integer byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"{MAX_BYTES_ENV_VAR} cannot be negative")
+    return value
+
+
+def system_digest(system: SystemConfig) -> str:
+    """Canonical content digest of a resolved system configuration.
+
+    Every field of the (frozen, primitives-only) config tree participates,
+    so any geometry or latency change produces a different result key.
+    """
+    payload = json.dumps(asdict(system), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def result_cache_key(cell, code_version: str = SIM_CODE_VERSION) -> str:
+    """The content key of one cell's :class:`SimulationResult`.
+
+    ``cell`` is a :class:`~repro.experiments.cells.CellSpec`.  The backend
+    field is excluded on purpose (results are backend-invariant); everything
+    else that can influence the counters is covered by the trace key, the
+    engine fields, the system digest, or the code-version tag.
+    """
+    from ..experiments.cells import system_for_cell, trace_key_for
+
+    payload = {
+        "format": RESULT_FORMAT_VERSION,
+        "code": code_version,
+        "trace": trace_key_for(cell),
+        "engine": cell.engine,
+        "history_entries": cell.history_entries,
+        "system": system_digest(system_for_cell(cell)),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult <-> (sidecar header, int64 column)
+
+
+def _result_column(result: SimulationResult) -> List[int]:
+    """The entry's integer column: per-core counter rows, then LLC banks."""
+    column: List[int] = []
+    for core in result.cores:
+        column.extend(int(getattr(core, field)) for field in _CORE_FIELDS)
+    if result.llc is not None:
+        column.extend(int(count) for count in result.llc.bank_accesses)
+    return column
+
+
+def _result_header(result: SimulationResult, column_length: int) -> Dict[str, object]:
+    llc: Optional[Dict[str, object]] = None
+    if result.llc is not None:
+        llc = {field: int(getattr(result.llc, field)) for field in _LLC_FIELDS}
+        llc["bank_accesses_len"] = len(result.llc.bank_accesses)
+    return {
+        "format": "repro-simulation-result",
+        "version": RESULT_FORMAT_VERSION,
+        "prefetcher_name": result.prefetcher_name,
+        "storage_bytes_per_core": int(result.storage_bytes_per_core),
+        "core_fields": list(_CORE_FIELDS),
+        "num_cores": len(result.cores),
+        "llc": llc,
+        "total": column_length,
+    }
+
+
+def _result_from_entry(header: Dict[str, object], column, system: SystemConfig) -> SimulationResult:
+    if list(header["core_fields"]) != list(_CORE_FIELDS):
+        raise ValueError("entry was written with a different counter layout")
+    num_cores = int(header["num_cores"])
+    width = len(_CORE_FIELDS)
+    cores: List[CoreResult] = []
+    for index in range(num_cores):
+        row = column[index * width : (index + 1) * width]
+        cores.append(CoreResult(**{f: int(v) for f, v in zip(_CORE_FIELDS, row)}))
+    llc_header = header["llc"]
+    llc: Optional[LLCStats] = None
+    if llc_header is not None:
+        banks_len = int(llc_header["bank_accesses_len"])
+        offset = num_cores * width
+        bank_accesses = [int(v) for v in column[offset : offset + banks_len]]
+        if len(bank_accesses) != banks_len:
+            raise ValueError("column is shorter than its sidecar claims")
+        llc = LLCStats(
+            **{f: int(llc_header[f]) for f in _LLC_FIELDS},
+            bank_accesses=bank_accesses,
+        )
+    return SimulationResult(
+        prefetcher_name=str(header["prefetcher_name"]),
+        system=system,
+        cores=cores,
+        storage_bytes_per_core=int(header["storage_bytes_per_core"]),
+        llc=llc,
+    )
+
+
+def _column_blob(values: List[int]) -> bytes:
+    """Little-endian int64 bytes of a python integer list."""
+    if _np is not None:
+        return _np.asarray(values, dtype="<i8").tobytes()
+    from array import array
+
+    column = array("q", values)
+    if sys.byteorder == "big":  # pragma: no cover - BE hosts
+        column.byteswap()
+    return column.tobytes()
+
+
+def _load_column(path: Path, total: int) -> List[int]:
+    """The entry's integer column as plain python ints; raises on mismatch.
+
+    Result columns are tiny (a dozen ints per core), so unlike trace columns
+    they are read eagerly, never memory-mapped.
+    """
+    blob = path.read_bytes()
+    offset, count = _parse_npy_header(blob)
+    if count != total or len(blob) - offset != 8 * total:
+        raise ValueError("column file does not match its sidecar")
+    from array import array
+
+    column = array("q")
+    column.frombytes(blob[offset:])
+    if sys.byteorder == "big":  # pragma: no cover - BE hosts
+        column.byteswap()
+    return list(column)
+
+
+class ResultCache:
+    """A bounded directory of content-addressed simulation results.
+
+    The same discipline as :class:`~repro.workloads.trace_cache.TraceCache`:
+    atomic publication, LRU byte cap, stale-version pruning, and total
+    tolerance of concurrent workers and damaged entries (any read problem is
+    a miss).  ``hits`` / ``misses`` / ``stored`` / ``evicted`` count this
+    process's traffic and feed the report and service statistics.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path" = DEFAULT_RESULT_CACHE_DIR,
+        max_bytes: Optional[int] = None,
+        code_version: str = SIM_CODE_VERSION,
+    ) -> None:
+        self._directory = Path(directory)
+        self._max_bytes = _resolve_max_bytes(max_bytes)
+        self._code_version = code_version
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evicted = 0
+        self._prune_stale_versions()
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def max_bytes(self) -> int:
+        """Size cap in bytes (0 = unlimited)."""
+        return self._max_bytes
+
+    @property
+    def code_version(self) -> str:
+        return self._code_version
+
+    def key_for(self, cell) -> str:
+        """The result key of a cell under this cache's code-version tag."""
+        return result_cache_key(cell, code_version=self._code_version)
+
+    def stats(self) -> Dict[str, int]:
+        """This process's cache traffic (the report/service counters)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evicted": self.evicted,
+        }
+
+    def usage(self) -> Dict[str, int]:
+        """Current on-disk footprint: entry count and total bytes."""
+        entries = self._entries_by_age()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _mtime, size, _key in entries),
+        }
+
+    def _column_path(self, key: str) -> Path:
+        return self._directory / f"{_VERSION_PREFIX}{key}.npy"
+
+    def _sidecar_path(self, key: str) -> Path:
+        return self._directory / f"{_VERSION_PREFIX}{key}.json"
+
+    def _prune_stale_versions(self) -> None:
+        """Drop entries of *older* format versions; leave newer ones alone
+        (a newer checkout sharing the directory still needs them)."""
+        try:
+            entries = list(self._directory.iterdir())
+        except OSError:
+            return
+        for path in entries:
+            match = _ENTRY_NAME_RE.match(path.name)
+            if match is None or int(match.group(1)) >= RESULT_FORMAT_VERSION:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # already pruned by a sibling worker, or EPERM
+                pass
+
+    def _entries_by_age(self) -> List[Tuple[float, int, str]]:
+        """Current-version entries as (mtime, size, key), oldest first; the
+        sidecar is the unit of existence, orphan columns age out first."""
+        entries: List[Tuple[float, int, str]] = []
+        seen_keys = set()
+        try:
+            sidecars = list(self._directory.glob(f"{_VERSION_PREFIX}*.json"))
+            columns = list(self._directory.glob(f"{_VERSION_PREFIX}*.npy"))
+        except OSError:
+            return entries
+        for sidecar in sidecars:
+            key = sidecar.name[len(_VERSION_PREFIX) : -len(".json")]
+            try:
+                stat = sidecar.stat()
+            except OSError:  # vanished between glob and stat
+                continue
+            seen_keys.add(key)
+            size = stat.st_size
+            try:
+                size += self._column_path(key).stat().st_size
+            except OSError:
+                pass
+            entries.append((stat.st_mtime, size, key))
+        for column in columns:
+            key = column.name[len(_VERSION_PREFIX) : -len(".npy")]
+            if key in seen_keys:
+                continue
+            try:
+                stat = column.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, key))
+        entries.sort()
+        return entries
+
+    def _remove_entry(self, key: str) -> bool:
+        """Delete one entry, sidecar first; concurrent deletion is fine."""
+        removed = False
+        for path in (self._sidecar_path(key), self._column_path(key)):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                continue
+        return removed
+
+    def _enforce_cap(self) -> None:
+        if not self._max_bytes:
+            return
+        entries = self._entries_by_age()
+        total = sum(size for _mtime, size, _key in entries)
+        for _mtime, size, key in entries:
+            if total <= self._max_bytes:
+                break
+            if self._remove_entry(key):
+                self.evicted += 1
+            total -= size
+
+    def load(self, key: str, system: SystemConfig) -> Optional[SimulationResult]:
+        """The cached result for ``key``, rebuilt against ``system``.
+
+        The system config is *not* stored — it is a pure function of the
+        cell, and its digest is part of the key, so the caller-resolved
+        config is by construction the one the result was computed against.
+        Any inconsistency on disk is a miss, never an error.
+        """
+        sidecar_path = self._sidecar_path(key)
+        column_path = self._column_path(key)
+        try:
+            header = json.loads(sidecar_path.read_text())
+            if (
+                not isinstance(header, dict)
+                or header.get("format") != "repro-simulation-result"
+                or header.get("version") != RESULT_FORMAT_VERSION
+            ):
+                raise ValueError("unrecognized sidecar")
+            column = _load_column(column_path, int(header["total"]))
+            result = _result_from_entry(header, column, system)
+        except (OSError, ValueError, KeyError, TypeError, SyntaxError):
+            self.misses += 1
+            return None
+        for path in (sidecar_path, column_path):
+            try:
+                os.utime(path)  # LRU touch: protect hot entries from eviction
+            except OSError:
+                pass
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Atomically publish ``result`` under ``key``; best-effort."""
+        column = _result_column(result)
+        header = _result_header(result, len(column))
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._replace_with_temp(
+                key,
+                self._column_path(key),
+                _npy_header(len(column)) + _column_blob(column),
+            )
+            self._replace_with_temp(
+                key,
+                self._sidecar_path(key),
+                json.dumps(header, sort_keys=True, separators=(",", ":")).encode(),
+            )
+        except OSError:
+            # A read-only or full filesystem must not fail the experiment.
+            return
+        self.stored += 1
+        self._enforce_cap()
+
+    def _replace_with_temp(self, key: str, destination: Path, blob: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self._directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def as_result_cache(cache: "ResultCache | str | Path | None") -> Optional[ResultCache]:
+    """Normalize the ``result_cache=`` argument the drivers accept."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def resolve_result_cache_dir(
+    explicit: "str | Path | None" = None,
+    disabled: bool = False,
+    default: "str | None" = None,
+) -> Optional[str]:
+    """CLI/service resolution: flag > environment > caller default.
+
+    ``disabled`` (the ``--no-result-cache`` flag) wins over everything.
+    """
+    if disabled:
+        return None
+    if explicit is not None:
+        return str(explicit)
+    env = os.environ.get(RESULT_CACHE_ENV_VAR, "").strip()
+    if env:
+        return env
+    return default
+
+
+__all__ = [
+    "ResultCache",
+    "as_result_cache",
+    "resolve_result_cache_dir",
+    "result_cache_key",
+    "system_digest",
+    "RESULT_FORMAT_VERSION",
+    "SIM_CODE_VERSION",
+    "DEFAULT_RESULT_CACHE_DIR",
+    "RESULT_CACHE_ENV_VAR",
+    "MAX_BYTES_ENV_VAR",
+    "DEFAULT_MAX_BYTES",
+]

@@ -1,0 +1,80 @@
+"""Command-line driver: ``python -m repro.serve --port 8351``.
+
+Unlike the batch CLIs the service defaults the result cache *on* (a
+long-running service without one would re-simulate every request);
+``--no-result-cache`` turns it off, ``--result-cache DIR`` moves it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..cli import add_options, result_cache_from_args
+from ..errors import ReproError
+from ..results import DEFAULT_RESULT_CACHE_DIR
+from . import ExperimentService, make_server
+
+DEFAULT_PORT = 8351
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve experiment/sweep requests over HTTP with a "
+        "background job queue, in-flight dedupe and a content-addressed "
+        "result cache (endpoints: POST /submit, GET /status/<job>, "
+        "GET /result/<job>, GET /cache/stats).",
+    )
+    add_options(parser, "workers", "trace-cache", "backend", "result-cache")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help=f"bind port (default: {DEFAULT_PORT})"
+    )
+    parser.add_argument(
+        "--job-threads",
+        type=int,
+        default=1,
+        help="concurrent jobs; each job still fans its cells over --workers "
+        "processes (default: 1)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        service = ExperimentService(
+            workers=args.workers,
+            trace_cache=args.trace_cache,
+            result_cache=result_cache_from_args(args, default=DEFAULT_RESULT_CACHE_DIR),
+            backend=args.backend,
+            job_threads=args.job_threads,
+        )
+        server = make_server(args.host, args.port, service, quiet=not args.verbose)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    service.start()
+    host, port = server.server_address[:2]
+    cache = service.result_cache
+    cache_note = f"result cache at {cache.directory}" if cache else "result cache off"
+    print(f"repro.serve listening on http://{host}:{port} ({cache_note})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

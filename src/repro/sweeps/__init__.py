@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..experiments import (
+    REPORT_SCHEMA_VERSION,
     ExperimentReport,
+    check_schema_version,
     run_consolidated_experiment,
     run_experiment,
 )
@@ -119,6 +121,11 @@ class SweepReport:
     axis: str
     points: List[SweepPoint] = field(default_factory=list)
     params: Dict[str, object] = field(default_factory=dict)
+    #: Aggregate result-cache traffic across every sweep point, populated
+    #: when ``run_sweep(result_cache=...)`` was given a cache.  Execution
+    #: telemetry only — excluded from ``to_dict`` and comparison so cached
+    #: and uncached sweeps serialize byte-identically.
+    result_cache_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     def check(
         self,
@@ -157,6 +164,7 @@ class SweepReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "axis": self.axis,
             "params": dict(self.params),
             "points": [point.to_dict() for point in self.points],
@@ -164,6 +172,7 @@ class SweepReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepReport":
+        check_schema_version(data, "sweep report")
         return cls(
             axis=str(data["axis"]),
             points=[SweepPoint.from_dict(dict(p)) for p in list(data["points"])],
@@ -206,6 +215,7 @@ def run_sweep(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    result_cache: "str | Path | object | None" = None,
 ) -> SweepReport:
     """Run one sensitivity sweep and return its report.
 
@@ -213,10 +223,17 @@ def run_sweep(
     ``storage``, core counts for ``cores``, seeds for ``seeds``, and
     sequences of workload names for ``consolidation``.  ``backend``
     selects the simulation backend for every point (results are
-    backend-invariant).
+    backend-invariant).  ``result_cache`` is shared across all points, so
+    re-sweeping after changing one axis value recomputes only the new
+    points' cells — the incremental-sweep path; aggregate traffic lands in
+    :attr:`SweepReport.result_cache_stats`.
     """
     if axis not in SWEEP_AXES:
         raise ConfigurationError(f"unknown sweep axis {axis!r}; known: {', '.join(SWEEP_AXES)}")
+    from ..results import as_result_cache
+
+    cache = as_result_cache(result_cache)
+    before = cache.stats() if cache is not None else None
     common = dict(
         system=system,
         scale=scale,
@@ -224,6 +241,7 @@ def run_sweep(
         workers=workers,
         trace_cache=trace_cache,
         backend=backend,
+        result_cache=cache,
     )
     points: List[SweepPoint] = []
     if axis == "storage":
@@ -285,7 +303,11 @@ def run_sweep(
         "blocks_per_core": blocks_per_core,
         "seed": seed,
     }
-    return SweepReport(axis=axis, points=points, params=params)
+    report = SweepReport(axis=axis, points=points, params=params)
+    if cache is not None:
+        after = cache.stats()
+        report.result_cache_stats = {key: after[key] - before[key] for key in after}
+    return report
 
 
 def format_sweep(report: SweepReport) -> str:

@@ -6,8 +6,8 @@ import argparse
 import sys
 import time
 
+from ..cli import add_options, result_cache_from_args, workloads_from_args
 from ..errors import ReproError
-from ..workloads.suite import WORKLOAD_NAMES
 from . import SWEEP_AXES, format_sweep, run_sweep
 
 
@@ -37,26 +37,20 @@ def build_parser() -> argparse.ArgumentParser:
         "for --axis consolidation semicolon-separated workload mixes "
         "(e.g. 'oltp_db2,web_frontend;dss_qry2,web_search')",
     )
-    parser.add_argument("--system", choices=("scaled", "paper"), default="scaled")
-    parser.add_argument("--scale", type=int, default=16)
-    parser.add_argument(
-        "--workloads",
-        default=None,
-        help=f"comma-separated subset of: {', '.join(WORKLOAD_NAMES)}",
+    add_options(
+        parser,
+        "system",
+        "scale",
+        "workloads",
+        "cores",
+        "blocks",
+        "seed",
+        "workers",
+        "trace-cache",
+        "backend",
+        "json",
+        "result-cache",
     )
-    parser.add_argument("--num-cores", type=int, default=None, help="cores to trace")
-    parser.add_argument("--blocks", type=int, default=None, help="trace length per core")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--workers", type=int, default=None, help="parallel worker processes")
-    parser.add_argument(
-        "--backend",
-        default=None,
-        metavar="NAME",
-        help="simulation backend: python or numpy "
-        "(default: $REPRO_BACKEND or python); results are identical",
-    )
-    parser.add_argument("--trace-cache", default=None, metavar="DIR")
-    parser.add_argument("--json", default=None, metavar="PATH", help="write the sweep as JSON")
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -80,18 +74,25 @@ def main(argv=None) -> int:
             values=_parse_values(args.axis, args.values),
             system=args.system,
             scale=args.scale,
-            workloads=args.workloads.split(",") if args.workloads else None,
-            num_cores=args.num_cores,
+            workloads=workloads_from_args(args),
+            num_cores=args.cores,
             blocks_per_core=args.blocks,
             seed=args.seed,
             workers=args.workers,
             trace_cache=args.trace_cache,
             backend=args.backend,
+            result_cache=result_cache_from_args(args),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_sweep(report))
+    if report.result_cache_stats is not None:
+        stats = report.result_cache_stats
+        print(
+            f"result cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['stored']} stored"
+        )
     print(f"({time.time() - started:.1f}s)")
     if args.json:
         report.save(args.json)
