@@ -419,10 +419,17 @@ DEFAULT_REGRESSION_TOLERANCE = 0.15
 _COMPARABLE_CONFIG_KEYS = ("workload", "seed", "blocks_per_core", "accesses", "repeats", "quick")
 
 #: Per-engine numpy-vs-python ratios below this in the *baseline* are not
-#: gated: they mark engines running through the exact Python fallback
-#: (SHIFT), where the ratio is timing noise around 1.0, not a speedup that
-#: could regress.
+#: gated: they mark engines running through the exact Python fallback,
+#: where the ratio is timing noise around 1.0, not a speedup that could
+#: regress.
 _GATE_MIN_BASELINE_SPEEDUP = 1.5
+
+#: Engines with an *absolute* warm numpy-speedup floor, independent of the
+#: committed baseline.  SHIFT graduated from the Python-fallback exemption
+#: when the epoch-split solver landed (~20x measured); if a change knocks
+#: it back onto the exact fallback the ratio collapses to ~1.0 and this
+#: floor fails the gate even against a stale pre-solver baseline.
+_GATE_ENGINE_MIN_SPEEDUP = {"shift": 8.0}
 
 #: Cap applied to the committed trace-generation warm speedup before the
 #: tolerance: warm loads are sub-millisecond mmap opens, so beyond ~10x
@@ -449,7 +456,11 @@ def check_against(
     measure a real speedup are excluded as pure timing noise: per-engine
     legacy-vs-optimized ratios hover near 1.0 (only their aggregate is
     gated) and numpy ratios of Python-fallback engines sit below
-    :data:`_GATE_MIN_BASELINE_SPEEDUP` in the baseline.  The
+    :data:`_GATE_MIN_BASELINE_SPEEDUP` in the baseline.  Engines listed
+    in :data:`_GATE_ENGINE_MIN_SPEEDUP` additionally carry an *absolute*
+    warm-speedup floor (SHIFT: 8x) that holds regardless of the committed
+    baseline, so losing the vectorized path fails CI even if the baseline
+    predates it.  The
     trace-generation warm speedup is gated against the committed value
     clamped to :data:`_GATE_TRACE_GEN_SPEEDUP_CAP` (the uncapped ratio is
     dominated by sub-millisecond load times).  A backend divergence
@@ -507,6 +518,20 @@ def check_against(
                 current_data.get("numpy_speedup"),
                 baseline_ratio,
             )
+        absolute_floor = _GATE_ENGINE_MIN_SPEEDUP.get(engine)
+        if absolute_floor is not None and current_backend.get("numpy_available"):
+            current_ratio = current_data.get("numpy_speedup")
+            if not isinstance(current_ratio, (int, float)):
+                violations.append(
+                    f"engines.{engine}.numpy_speedup missing from current "
+                    f"results (absolute floor {absolute_floor}x)"
+                )
+            elif current_ratio < absolute_floor:
+                violations.append(
+                    f"engines.{engine}.numpy_speedup below absolute floor: "
+                    f"{current_ratio} vs required {absolute_floor}x "
+                    "(vectorized path lost or regressed to the Python fallback)"
+                )
     baseline_gen = baseline.get("trace_generation")
     if isinstance(baseline_gen, dict) and isinstance(
         baseline_gen.get("warm_speedup"), (int, float)

@@ -217,18 +217,34 @@ def _execute_cell(args: Tuple[CellSpec, Optional[str]]) -> SimulationResult:
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Effective worker count: the explicit argument, else ``REPRO_WORKERS``."""
+    """Effective worker count: the explicit argument, else ``REPRO_WORKERS``.
+
+    Non-positive counts are rejected here rather than deep inside
+    ``ProcessPoolExecutor`` (whose ``ValueError`` would not say where the
+    value came from); 0 is only ever the *implicit* "no parallelism
+    requested" default.
+    """
     if workers is not None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"worker count must be a positive integer, got {workers!r}"
+                f" (or leave it unset / unset {WORKERS_ENV_VAR} to run serially)"
+            )
         return workers
     raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
     if not raw:
         return 0
     try:
-        return int(raw)
+        count = int(raw)
     except ValueError:
         raise ConfigurationError(
             f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
         ) from None
+    if count < 1:
+        raise ConfigurationError(
+            f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        )
+    return count
 
 
 def execute_cells(

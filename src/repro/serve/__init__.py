@@ -33,7 +33,8 @@ endpoint                       meaning
                                it through ``from_dict`` (schema-versioned)
 ``GET /cache/stats``           result-cache traffic + on-disk usage + job
                                counts
-``GET /jobs``                  every job, newest last
+``GET /jobs``                  retained jobs, newest last (finished jobs
+                               beyond the retention cap are pruned)
 ``GET /healthz``               liveness probe
 =============================  =============================================
 
@@ -47,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import os
 import queue
 import threading
 from dataclasses import dataclass
@@ -60,6 +62,32 @@ from ..sweeps import run_sweep
 
 #: Request kinds the service accepts, mapped to their driver below.
 JOB_KINDS: Tuple[str, ...] = ("experiment", "sweep")
+
+#: Finished (done/failed) jobs kept queryable; older ones are pruned as new
+#: jobs finish, so a long-running service's job table cannot grow without
+#: bound (reports are a few KB each and used to accumulate forever).
+#: Queued and running jobs are never pruned.  Overridable per deployment
+#: via ``REPRO_SERVE_RETAINED_JOBS`` or the constructor argument.
+DEFAULT_RETAINED_JOBS = 256
+RETAINED_JOBS_ENV_VAR = "REPRO_SERVE_RETAINED_JOBS"
+
+
+def _resolve_retained_jobs(retained_jobs: Optional[int]) -> int:
+    if retained_jobs is None:
+        raw = os.environ.get(RETAINED_JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return DEFAULT_RETAINED_JOBS
+        try:
+            retained_jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{RETAINED_JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if retained_jobs < 1:
+        raise ConfigurationError(
+            f"the service must retain at least one finished job, got {retained_jobs}"
+        )
+    return retained_jobs
 
 #: Params a client may set per request.  Execution policy (workers, caches,
 #: backend) belongs to the deployment, not the request — results are
@@ -164,6 +192,7 @@ class ExperimentService:
         result_cache: "ResultCache | str | None" = None,
         backend: Optional[str] = None,
         job_threads: int = 1,
+        retained_jobs: Optional[int] = None,
     ) -> None:
         if job_threads < 1:
             raise ConfigurationError("the service needs at least one job thread")
@@ -172,6 +201,7 @@ class ExperimentService:
         self._result_cache = as_result_cache(result_cache)
         self._backend = backend
         self._job_threads = job_threads
+        self._retained_jobs = _resolve_retained_jobs(retained_jobs)
         self._jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, str] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -273,14 +303,32 @@ class ExperimentService:
                     job.report = report.to_dict()
                     job.cache_stats = report.result_cache_stats
                     job.status = DONE
+                    self._prune_finished_locked()
             except ReproError as error:
                 with self._lock:
                     job.error = str(error)
                     job.status = FAILED
+                    self._prune_finished_locked()
             except Exception as error:  # noqa: BLE001 - a job must never kill its worker
                 with self._lock:
                     job.error = f"{type(error).__name__}: {error}"
                     job.status = FAILED
+                    self._prune_finished_locked()
+
+    def _prune_finished_locked(self) -> None:
+        """Drop the oldest finished jobs beyond the retention cap.
+
+        Caller holds ``self._lock``.  ``_jobs`` is insertion-ordered, so
+        iteration order is submission order — the evicted jobs are the
+        oldest finished ones, and ``/jobs`` stays newest-last.  A dedupe
+        key is forgotten only when it still points at the evicted job, so
+        in-flight dedupe (queued/running jobs, never pruned) is unaffected.
+        """
+        finished = [job for job in self._jobs.values() if job.status in (DONE, FAILED)]
+        for job in finished[: max(0, len(finished) - self._retained_jobs)]:
+            del self._jobs[job.id]
+            if self._by_key.get(job.key) == job.id:
+                del self._by_key[job.key]
 
     def _run(self, job: Job):
         common = dict(
@@ -395,9 +443,11 @@ def make_server(
 
 
 __all__ = [
+    "DEFAULT_RETAINED_JOBS",
     "ExperimentService",
     "Job",
     "JOB_KINDS",
+    "RETAINED_JOBS_ENV_VAR",
     "job_key",
     "validate_request",
     "make_server",

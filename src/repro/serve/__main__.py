@@ -13,7 +13,12 @@ import sys
 from ..cli import add_options, result_cache_from_args
 from ..errors import ReproError
 from ..results import DEFAULT_RESULT_CACHE_DIR
-from . import ExperimentService, make_server
+from . import (
+    DEFAULT_RETAINED_JOBS,
+    RETAINED_JOBS_ENV_VAR,
+    ExperimentService,
+    make_server,
+)
 
 DEFAULT_PORT = 8351
 
@@ -39,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (default: 1)",
     )
     parser.add_argument(
+        "--retained-jobs",
+        type=int,
+        default=None,
+        help="finished jobs kept queryable before the oldest are pruned "
+        f"(default: ${RETAINED_JOBS_ENV_VAR} or {DEFAULT_RETAINED_JOBS})",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -53,6 +65,7 @@ def main(argv=None) -> int:
             result_cache=result_cache_from_args(args, default=DEFAULT_RESULT_CACHE_DIR),
             backend=args.backend,
             job_threads=args.job_threads,
+            retained_jobs=args.retained_jobs,
         )
         server = make_server(args.host, args.port, service, quiet=not args.verbose)
     except ReproError as error:

@@ -744,6 +744,35 @@ def _stream_lane(
     engine.llc_block_reads = llc_reads
 
 
+def resolve_stream_roles(lanes: List[Lane], prefetcher):
+    """Resolve each lane's role against the shared history groups.
+
+    Returns ``(groups, roles)``: ``groups`` is
+    ``prefetcher.history_groups()`` and ``roles[i]`` is
+    ``(group_index, stream_engine, is_trainer)`` for ``lanes[i]``, or
+    ``None`` for a passive lane (a core outside every group).  Both the
+    python round-robin driver and the numpy epoch solver resolve roles
+    here, so the backends can never disagree about which lane trains or
+    consumes which history.
+    """
+    groups = prefetcher.history_groups()
+    group_of_core: Dict[int, int] = {}
+    for group_index, group in enumerate(groups):
+        for core_id in group.core_ids:
+            group_of_core[core_id] = group_index
+    streams = prefetcher._streams
+    roles = []
+    for core_id, _addresses, _cache, _buffer, _stats in lanes:
+        group_index = group_of_core.get(core_id)
+        if group_index is None:
+            roles.append(None)
+        else:
+            roles.append(
+                (group_index, streams[core_id], core_id == groups[group_index].trainer_core)
+            )
+    return groups, roles
+
+
 def run_stream_shared(
     lanes: List[Lane],
     inflight: Dict[int, int],
@@ -756,22 +785,15 @@ def run_stream_shared(
     num_streams = config.stream_buffer.num_streams
     lookahead = config.stream_buffer.lookahead_records
     outstanding_cap = config.stream_buffer.capacity_records * region_blocks
-    consolidated = isinstance(prefetcher, ConsolidatedSHIFTPrefetcher)
+    groups, roles = resolve_stream_roles(lanes, prefetcher)
     generators: List[Iterator[None]] = []
-    for core_id, addresses, cache, buffer, stats in lanes:
+    for (core_id, addresses, cache, buffer, stats), role in zip(lanes, roles):
         addresses = address_list(addresses)
-        if consolidated:
-            group = prefetcher._group_of_core.get(core_id)
-            if group is None:
-                generators.append(_passive_lane(addresses, cache, stats, llc))
-                continue
-            history, index, compactor = group.history, group.index, group.compactor
-            is_trainer = core_id == group.trainer_core
-        else:
-            history, index = prefetcher._history, prefetcher._index
-            compactor = prefetcher._compactor
-            is_trainer = core_id == prefetcher._trainer_core
-        engine = prefetcher._streams[core_id]
+        if role is None:
+            generators.append(_passive_lane(addresses, cache, stats, llc))
+            continue
+        group_index, engine, is_trainer = role
+        group = groups[group_index]
         generators.append(
             _stream_lane(
                 addresses,
@@ -779,9 +801,9 @@ def run_stream_shared(
                 buffer,
                 stats,
                 engine,
-                history,
-                index,
-                compactor,
+                group.history,
+                group.index,
+                group.compactor,
                 is_trainer,
                 region_blocks,
                 num_streams,

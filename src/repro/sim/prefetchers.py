@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..config import (
     NextLineConfig,
@@ -407,6 +407,26 @@ class PIFPrefetcher(Prefetcher):
         return self._config.storage_bytes_per_core
 
 
+class HistoryGroup(NamedTuple):
+    """One shared-history domain of a SHIFT-family prefetcher.
+
+    A uniform view over the plain (one history for all cores) and
+    consolidated (one history per workload stack) variants: ``core_ids``
+    are the cores whose stream engines replay this history,
+    ``trainer_core`` is the single core whose compactor feed appends to
+    it, and ``compactor``/``history``/``index`` are the shared mutable
+    state itself.  Both backends resolve lane roles through
+    ``history_groups()``, so they can never disagree about which core
+    trains which history.
+    """
+
+    core_ids: Tuple[int, ...]
+    trainer_core: int
+    compactor: SpatialCompactor
+    history: HistoryBuffer
+    index: IndexTable
+
+
 class SHIFTPrefetcher(Prefetcher):
     """Shared History Instruction Fetch.
 
@@ -476,6 +496,18 @@ class SHIFTPrefetcher(Prefetcher):
         if self._config.zero_latency_history or not self._config.virtualized:
             return 0
         return self._streams[core_id].llc_block_reads
+
+    def history_groups(self) -> List[HistoryGroup]:
+        """The single shared-history domain: every core, one trainer."""
+        return [
+            HistoryGroup(
+                tuple(range(len(self._streams))),
+                self._trainer_core,
+                self._compactor,
+                self._history,
+                self._index,
+            )
+        ]
 
     def storage_bytes_per_core(self, num_cores: int) -> int:
         total = self._config.storage_bytes_total
@@ -600,6 +632,19 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
         stream = self._streams.get(core_id)
         return stream.llc_block_reads if stream is not None else 0
 
+    def history_groups(self) -> List[HistoryGroup]:
+        """One shared-history domain per consolidated workload stack."""
+        return [
+            HistoryGroup(
+                group.core_ids,
+                group.trainer_core,
+                group.compactor,
+                group.history,
+                group.index,
+            )
+            for group in self._groups
+        ]
+
     def storage_bytes_per_core(self, num_cores: int) -> int:
         total = self._group_config.storage_bytes_total * len(self._groups)
         return -(-total // max(1, num_cores))
@@ -644,6 +689,7 @@ __all__ = [
     "SpatialCompactor",
     "expand_record",
     "HistoryBuffer",
+    "HistoryGroup",
     "IndexTable",
     "StreamEngine",
     "PIFPrefetcher",

@@ -4,16 +4,32 @@ Randomized small systems (core count, seed, workload subset, trace length,
 history budget, LLC slice) run through :func:`repro.experiments.run_experiment`
 under the ``python`` and ``numpy`` backends; ``ExperimentReport.to_json()``
 must agree byte for byte, serially and with ``REPRO_WORKERS=2``.
+
+The SHIFT-specific cases pin the epoch-split solver's hard edges: history
+wraparound mid-epoch, a non-zero trainer core (the delayed-visibility path),
+consolidated groups with unequal lane lengths including empty and
+single-access lanes (epochs of length 0 and 1), and the parallel-worker
+path through the vectorized replay.  Each direct-simulation case asserts
+the numpy backend actually took the vectorized path (the solution memo is
+populated) so parity cannot silently come from the Python fallback.
 """
 
 import random
+from dataclasses import asdict
 
 import pytest
 
+from repro.config import scaled_shift_config, scaled_system
 from repro.experiments import run_experiment
-from repro.workloads.suite import WORKLOAD_NAMES
+from repro.sim import SimulationEngine
+from repro.sim.prefetchers import ConsolidatedSHIFTPrefetcher, SHIFTPrefetcher
+from repro.workloads.generator import generate_traces
+from repro.workloads.suite import WORKLOAD_NAMES, scaled_workload, workload_by_name
+from repro.workloads.trace import CoreTrace, TraceSet
 
 pytest.importorskip("numpy")
+
+from repro.sim.backends import numpy_backend  # noqa: E402
 
 #: Fixed seeds make the sampled configurations reproducible in CI.
 PROPERTY_SEEDS = (1, 2, 3, 4, 5)
@@ -58,3 +74,129 @@ def test_reports_byte_identical_under_backend_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_BACKEND", "numpy")
     via_env = run_experiment(**config)
     assert baseline.to_json() == via_env.to_json()
+
+
+def _assert_same_simulation(python_result, numpy_result):
+    assert [asdict(c) for c in python_result.cores] == [
+        asdict(c) for c in numpy_result.cores
+    ]
+    assert asdict(python_result.llc) == asdict(numpy_result.llc)
+
+
+def _run_shift_pair(make_prefetcher, trace_set, system):
+    """Simulate with fresh prefetchers per backend; the numpy run must take
+    the vectorized epoch-split path, not the exact Python fallback."""
+    prefetchers, results = {}, {}
+    numpy_backend._SHIFT_CACHE.clear()
+    for backend in ("python", "numpy"):
+        prefetchers[backend] = make_prefetcher()
+        engine = SimulationEngine(
+            system=system, prefetcher=prefetchers[backend], backend=backend
+        )
+        results[backend] = engine.run(trace_set)
+    assert numpy_backend._SHIFT_CACHE, "numpy run fell back to the Python loops"
+    _assert_same_simulation(results["python"], results["numpy"])
+    return prefetchers
+
+
+class TestShiftEpochSplitEdges:
+    """Hard edges of the vectorized SHIFT replay (see module docstring)."""
+
+    def test_history_wraparound_mid_epoch(self):
+        """A 16-record history against a 4-core trace overwrites the ring
+        many times over; stale-position reads must resolve identically."""
+        system = scaled_system()
+        config = scaled_shift_config(16, history_entries=256)  # 16 records
+        trace_set = generate_traces(
+            scaled_workload(workload_by_name("oltp_db2"), 16),
+            system,
+            seed=21,
+            num_cores=4,
+            blocks_per_core=1_200,
+        )
+        prefetchers = _run_shift_pair(
+            lambda: SHIFTPrefetcher(num_cores=4, config=config), trace_set, system
+        )
+        reference = prefetchers["python"]
+        assert reference._history.writes > config.history_entries
+        # The solver's write-back leaves the shared state exactly where the
+        # python loops leave it, so a later resumed run stays exact too.
+        for backend in ("numpy",):
+            candidate = prefetchers[backend]
+            assert candidate._history._records == reference._history._records
+            assert candidate._history.writes == reference._history.writes
+            assert candidate._index._entries == reference._index._entries
+
+    def test_nonzero_trainer_core(self):
+        """Cores below the trainer see an append one step late (delta=1);
+        only a non-default trainer exercises that path."""
+        system = scaled_system()
+        trace_set = generate_traces(
+            scaled_workload(workload_by_name("web_search"), 16),
+            system,
+            seed=17,
+            num_cores=3,
+            blocks_per_core=900,
+        )
+        _run_shift_pair(
+            lambda: SHIFTPrefetcher(
+                num_cores=3, config=scaled_shift_config(16), trainer_core=2
+            ),
+            trace_set,
+            system,
+        )
+
+    def test_consolidated_unequal_lanes_and_degenerate_epochs(self):
+        """Handcrafted consolidated groups: lane lengths 900/1/700/1
+        (single-access lanes are the shortest the trace layer allows), plus
+        a region-alternating burst in the trainer feed that emits a record
+        on every access — epochs of length 0 and 1 between consecutive
+        appends."""
+        rng = random.Random(42)
+
+        def stream(length, base):
+            addresses = []
+            while len(addresses) < length:
+                start = base + rng.randrange(0, 300)
+                addresses.extend(range(start, start + rng.randrange(1, 12)))
+            return addresses[:length]
+
+        trainer0 = stream(840, 0)
+        for i in range(60):  # alternate far regions: one record per access
+            trainer0.append(0 if i % 2 else 2_048)
+        lanes = [
+            CoreTrace(0, trainer0),
+            CoreTrace(1, stream(1, 0)),
+            CoreTrace(2, stream(700, 10_000)),
+            CoreTrace(3, stream(1, 10_000)),
+        ]
+        trace_set = TraceSet(traces=lanes)
+        system = scaled_system(num_cores=4)
+        _run_shift_pair(
+            lambda: ConsolidatedSHIFTPrefetcher(
+                groups=[(0, 1), (2, 3)],
+                config=scaled_shift_config(16, history_entries=512),
+            ),
+            trace_set,
+            system,
+        )
+
+    def test_serial_vs_env_workers_byte_identical(self, monkeypatch, tmp_path):
+        """REPRO_WORKERS=2 fans shift cells over worker processes; their
+        vectorized replays must reproduce the serial python report."""
+        params = {
+            "workloads": ["oltp_db2"],
+            "engines": ["none", "shift"],
+            "num_cores": 4,
+            "blocks_per_core": 700,
+            "seed": 5,
+        }
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        serial_python = run_experiment(backend="python", **params)
+        serial_numpy = run_experiment(backend="numpy", **params)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        parallel_numpy = run_experiment(
+            backend="numpy", trace_cache=tmp_path, **params
+        )
+        assert serial_python.to_json() == serial_numpy.to_json()
+        assert serial_python.to_json() == parallel_numpy.to_json()

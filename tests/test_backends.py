@@ -188,7 +188,7 @@ class TestBackendParity:
         python, numpy_r = run_pair(trace_set, engine, **ENGINE_KWARGS[engine])
         assert_equal_results(python, numpy_r)
 
-    @pytest.mark.parametrize("engine", ["none", "next_line", "pif"])
+    @pytest.mark.parametrize("engine", ["none", "next_line", "pif", "shift"])
     def test_warm_cache_runs_stay_exact(self, engine):
         """Second and third numpy runs replay the memoized pure core; they
         must equal both the cold run and the python backend."""

@@ -146,6 +146,26 @@ class TestCheckAgainst:
         current["benchmark"] = "experiment"
         assert any("benchmark mismatch" in v for v in check_against(current, baseline))
 
+    def test_shift_absolute_floor(self):
+        """SHIFT carries an absolute 8x floor that ignores the baseline: a
+        collapse back to the Python fallback (~1.0) must fail even against a
+        stale baseline recorded before the epoch-split solver existed."""
+        baseline = hotloop_fixture()
+        baseline["engines"]["shift"] = {"speedup": 1.0, "numpy_speedup": 0.99}
+        current = copy.deepcopy(baseline)
+        current["engines"]["shift"]["numpy_speedup"] = 20.0
+        assert check_against(current, baseline) == []
+        current["engines"]["shift"]["numpy_speedup"] = 1.0
+        violations = check_against(current, baseline)
+        assert any("absolute floor" in v and "shift" in v for v in violations)
+        del current["engines"]["shift"]["numpy_speedup"]
+        violations = check_against(current, baseline)
+        assert any("shift" in v and "missing" in v for v in violations)
+        # Without numpy there is no ratio to hold to the floor; the
+        # numpy-unavailable violation is reported elsewhere.
+        current["backend"]["numpy_available"] = False
+        assert not any("absolute floor" in v for v in check_against(current, baseline))
+
     def test_cli_gate_passes_against_own_output(self, tmp_path, capsys):
         from repro.bench.__main__ import main
 

@@ -59,7 +59,7 @@ class TestExecuteCells:
     ]
 
     def test_serial_and_parallel_agree(self):
-        serial = execute_cells(self.CELLS, workers=0)
+        serial = execute_cells(self.CELLS, workers=1)
         parallel = execute_cells(self.CELLS, workers=2)
         for cell in self.CELLS:
             assert serial[cell].total_misses == parallel[cell].total_misses
@@ -73,6 +73,21 @@ class TestExecuteCells:
         monkeypatch.setenv("REPRO_WORKERS", "many")
         with pytest.raises(ConfigurationError):
             resolve_workers(None)
+
+    def test_non_positive_worker_counts_are_rejected(self, monkeypatch):
+        """Regression: ``workers=-2`` used to flow through unvalidated (and
+        silently run serial, or die inside ProcessPoolExecutor with an
+        opaque ValueError on paths that always pool)."""
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        for bad in (-2, -1, 0):
+            with pytest.raises(ConfigurationError):
+                resolve_workers(bad)
+        with pytest.raises(ConfigurationError):
+            execute_cells(self.CELLS, workers=-2)
+        for raw in ("-2", "0"):
+            monkeypatch.setenv("REPRO_WORKERS", raw)
+            with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+                resolve_workers(None)
 
 
 class TestTraceCache:

@@ -11,9 +11,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments import ExperimentReport, run_experiment
 from repro.serve import (
+    DEFAULT_RETAINED_JOBS,
     DONE,
     FAILED,
     QUEUED,
+    RETAINED_JOBS_ENV_VAR,
     ExperimentService,
     job_key,
     make_server,
@@ -136,6 +138,76 @@ class TestServiceDirect:
     def test_needs_a_job_thread(self):
         with pytest.raises(ConfigurationError):
             ExperimentService(job_threads=0)
+
+
+FAST_PARAMS = {
+    "workloads": ["oltp_db2"],
+    "engines": ["none"],
+    "num_cores": 2,
+    "blocks_per_core": 200,
+}
+
+
+def _drain(service):
+    """Run every queued job on the calling thread (deterministic, no races)."""
+    service._queue.put(None)
+    service._work()
+
+
+class TestFinishedJobRetention:
+    """Regression: finished jobs used to accumulate forever."""
+
+    def test_oldest_finished_jobs_are_pruned(self, tmp_path):
+        service = ExperimentService(result_cache=tmp_path / "rc", retained_jobs=2)
+        submitted = [
+            service.submit("experiment", {**FAST_PARAMS, "seed": seed})[0]
+            for seed in range(4)
+        ]
+        _drain(service)
+        retained = service.jobs()
+        assert [job.id for job in retained] == [job.id for job in submitted[-2:]]
+        assert all(job.status == DONE for job in retained)
+        assert service.job_counts()[DONE] == 2
+        for evicted in submitted[:2]:
+            assert service.job(evicted.id) is None
+        # An evicted job's dedupe key is forgotten: resubmitting its params
+        # queues a fresh job instead of pointing at the pruned id.
+        rerun, deduped = service.submit("experiment", {**FAST_PARAMS, "seed": 0})
+        assert not deduped and rerun.id != submitted[0].id
+
+    def test_queued_jobs_are_never_pruned(self, tmp_path):
+        service = ExperimentService(result_cache=tmp_path / "rc", retained_jobs=1)
+        queued, _ = service.submit("experiment", {**FAST_PARAMS, "seed": 2})
+        # Hold the job back from the worker so it stays QUEUED while newer
+        # submissions finish around it.
+        assert service._queue.get() == queued.id
+        first, _ = service.submit("experiment", {**FAST_PARAMS, "seed": 0})
+        second, _ = service.submit("experiment", {**FAST_PARAMS, "seed": 1})
+        _drain(service)
+        # Both finished; only the newest survives the cap of 1.
+        assert service.job(first.id) is None
+        assert service.job(second.id).status == DONE
+        # The older queued job is untouched and still the dedupe target.
+        assert service.job(queued.id).status == QUEUED
+        again, deduped = service.submit("experiment", {**FAST_PARAMS, "seed": 2})
+        assert deduped and again.id == queued.id
+
+    def test_retention_configuration(self, monkeypatch):
+        monkeypatch.delenv(RETAINED_JOBS_ENV_VAR, raising=False)
+        assert ExperimentService()._retained_jobs == DEFAULT_RETAINED_JOBS
+        assert ExperimentService(retained_jobs=7)._retained_jobs == 7
+        monkeypatch.setenv(RETAINED_JOBS_ENV_VAR, "3")
+        assert ExperimentService()._retained_jobs == 3
+        assert ExperimentService(retained_jobs=9)._retained_jobs == 9
+        monkeypatch.setenv(RETAINED_JOBS_ENV_VAR, "many")
+        with pytest.raises(ConfigurationError):
+            ExperimentService()
+        monkeypatch.setenv(RETAINED_JOBS_ENV_VAR, "0")
+        with pytest.raises(ConfigurationError):
+            ExperimentService()
+        monkeypatch.delenv(RETAINED_JOBS_ENV_VAR, raising=False)
+        with pytest.raises(ConfigurationError):
+            ExperimentService(retained_jobs=0)
 
 
 @pytest.fixture()
