@@ -35,11 +35,18 @@ Subpackages
     HTTP experiment service with a background job queue.
 ``repro.bench``
     Performance harness and regression gate.
+``repro.analysis``
+    Static checks of the repo's correctness invariants (determinism,
+    cache-key completeness, backend parity, lock discipline, env/CLI
+    registries); ``python -m repro.analysis`` gates CI on them.
+``repro.envvars``
+    Declared registry of every ``REPRO_*`` environment variable.
 """
 
 __version__ = "0.1.0"
 
-from . import errors
+from . import envvars, errors
+from .analysis import Finding, run_analysis
 from .experiments import (
     REPORT_SCHEMA_VERSION,
     ExperimentReport,
@@ -53,7 +60,10 @@ from .sweeps import SweepReport, format_sweep, run_sweep
 
 __all__ = [
     "__version__",
+    "envvars",
     "errors",
+    "Finding",
+    "run_analysis",
     "run_experiment",
     "run_consolidated_experiment",
     "run_sweep",

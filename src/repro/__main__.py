@@ -11,16 +11,17 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
-COMMANDS = ("experiments", "sweeps", "bench", "serve")
+COMMANDS = ("experiments", "sweeps", "bench", "serve", "analysis")
 
 _USAGE = (
-    "usage: python -m repro {experiments,sweeps,bench,serve} [options]\n"
+    "usage: python -m repro {experiments,sweeps,bench,serve,analysis} [options]\n"
     "\n"
     "commands:\n"
     "  experiments  compare the prefetch engines on the workload suite\n"
     "  sweeps       sensitivity sweeps over the paper's axes\n"
     "  bench        performance harness and regression gate\n"
     "  serve        long-running HTTP experiment service\n"
+    "  analysis     static checks of the repo's correctness invariants\n"
     "\n"
     "run 'python -m repro <command> --help' for command options\n"
 )
@@ -40,6 +41,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.__main__ import main as run
     elif command == "serve":
         from .serve.__main__ import main as run
+    elif command == "analysis":
+        from .analysis.__main__ import main as run
     else:
         print(f"error: unknown command {command!r}; known: {', '.join(COMMANDS)}", file=sys.stderr)
         print(_USAGE, end="", file=sys.stderr)

@@ -1,0 +1,91 @@
+"""Command-line driver: ``python -m repro.analysis``.
+
+Exit status: 0 when every checker is clean, 1 when findings survive
+suppressions (how CI gates on the invariants), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..cli import add_options
+from . import Finding, checkers, default_repo_root, run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    registered = checkers()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check the repo's correctness invariants statically: "
+        + "; ".join(f"{c.id} ({c.description})" for c in registered),
+    )
+    add_options(parser, "json")
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root to analyze (default: this checkout)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        default=None,
+        metavar="ID",
+        choices=[c.id for c in registered],
+        help="run only this checker (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered checkers and exit"
+    )
+    return parser
+
+
+def _payload(findings: List[Finding]) -> str:
+    payload = {
+        "checkers": [
+            {"id": c.id, "description": c.description} for c in checkers()
+        ],
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for checker in checkers():
+            print(f"{checker.id:16} {checker.description}")
+        return 0
+    root = Path(args.root) if args.root else default_repo_root()
+    try:
+        findings = run_analysis(repo_root=root, checker_ids=args.checker)
+    except (FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        rendered = _payload(findings)
+        if args.json == "-":
+            sys.stdout.write(rendered)
+        else:
+            Path(args.json).write_text(rendered, encoding="utf-8")
+    for finding in findings:
+        print(finding)
+    selected = args.checker or [c.id for c in checkers()]
+    if findings:
+        print(
+            f"{len(findings)} finding(s) from {len(selected)} checker(s) — "
+            "fix them or add '# repro: allow[<checker>] <reason>'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"analysis OK: {len(selected)} checker(s), no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""``cache-key``: every influential ``CellSpec`` field is in the result key.
+
+The content-addressed result cache serves a stored
+:class:`~repro.sim.SimulationResult` whenever a cell's key matches — so a
+``CellSpec`` field that changes simulation output but *not* the key silently
+serves stale results.  This checker proves coverage statically:
+
+1. the field list is read from the ``CellSpec`` dataclass in
+   ``experiments/cells.py``;
+2. the static call closure of ``result_cache_key`` (in
+   ``results/__init__.py``) is walked across the whole package — every
+   function transitively reachable by name from the key computation;
+3. a field is *covered* when the closure reads it as an attribute
+   (``cell.engine``, ``cell.seed`` via ``trace_key_for``, ...), and a field
+   may instead be *exempted* via the ``RESULT_KEY_EXEMPT_CELL_FIELDS``
+   frozenset next to ``result_cache_key`` (``backend``: results are
+   backend-invariant by the parity tests).
+
+Anything neither covered nor exempted fails the gate at the field's
+declaration line.  Exemptions are themselves audited: an exempt name that
+is not a field, or that the key computation actually reads, is stale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import Finding, Project, register
+
+CELLS_PATH = ("experiments", "cells.py")
+RESULTS_PATH = ("results", "__init__.py")
+EXEMPT_NAME = "RESULT_KEY_EXEMPT_CELL_FIELDS"
+
+
+def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _cellspec_fields(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    """(field name, line) pairs of the dataclass, in declaration order."""
+    fields = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            fields.append((node.target.id, node.lineno))
+    return fields
+
+
+def _exempt_fields(tree: ast.Module) -> Tuple[Set[str], int]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == EXEMPT_NAME for t in node.targets
+            )
+        ):
+            names = {
+                const.value
+                for const in ast.walk(node.value)
+                if isinstance(const, ast.Constant) and isinstance(const.value, str)
+            }
+            return names, node.lineno
+    return set(), 0
+
+
+def _function_index(project: Project) -> Dict[str, List[ast.AST]]:
+    """Every function/method in the package, keyed by its simple name.
+
+    Name-based resolution over-approximates the true call graph, which is
+    the safe direction here: extra functions can only mark extra fields as
+    covered, never produce a false "uncovered" finding.
+    """
+    index: Dict[str, List[ast.AST]] = {}
+    for source in project.package_files():
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index.setdefault(node.name, []).append(node)
+    return index
+
+
+def _closure(root: ast.AST, index: Dict[str, List[ast.AST]]) -> List[ast.AST]:
+    """Functions reachable from ``root`` by called names, to a fixpoint."""
+    seen: List[ast.AST] = []
+    pending = [root]
+    while pending:
+        fn = pending.pop()
+        if any(existing is fn for existing in seen):
+            continue
+        seen.append(fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                called = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                called = node.func.attr
+            else:
+                continue
+            pending.extend(index.get(called, []))
+    return seen
+
+
+@register(
+    "cache-key",
+    "every CellSpec field is covered by the result-cache key or exempted",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    cells_path = project.package_root.joinpath(*CELLS_PATH)
+    results_path = project.package_root.joinpath(*RESULTS_PATH)
+    for path in (cells_path, results_path):
+        if not path.is_file():
+            findings.append(
+                Finding(
+                    project.relpath(path),
+                    1,
+                    "cache-key/missing-anchor",
+                    f"expected {'/'.join(path.parts[-2:])} to exist (the cache-key "
+                    "invariant is anchored on it)",
+                )
+            )
+    if findings:
+        return findings
+
+    cells = project.source(cells_path)
+    results = project.source(results_path)
+    cellspec = _class_def(cells.tree, "CellSpec")
+    key_fn = next(
+        (
+            node
+            for node in ast.walk(results.tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "result_cache_key"
+        ),
+        None,
+    )
+    if cellspec is None:
+        findings.append(
+            Finding(cells.relpath, 1, "cache-key/missing-anchor", "no CellSpec class")
+        )
+    if key_fn is None:
+        findings.append(
+            Finding(
+                results.relpath, 1, "cache-key/missing-anchor", "no result_cache_key()"
+            )
+        )
+    if findings:
+        return findings
+
+    fields = _cellspec_fields(cellspec)
+    field_names = {name for name, _line in fields}
+    exempt, exempt_line = _exempt_fields(results.tree)
+    closure = _closure(key_fn, _function_index(project))
+    covered: Set[str] = set()
+    for fn in closure:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and node.attr in field_names:
+                covered.add(node.attr)
+
+    for name, line in fields:
+        if name not in covered and name not in exempt:
+            findings.append(
+                Finding(
+                    cells.relpath,
+                    line,
+                    "cache-key/uncovered-field",
+                    f"CellSpec.{name} never reaches result_cache_key()'s call "
+                    f"closure and is not in {EXEMPT_NAME}: two cells differing "
+                    "only in it would share a cache entry",
+                )
+            )
+    for name in sorted(exempt):
+        if name not in field_names:
+            findings.append(
+                Finding(
+                    results.relpath,
+                    exempt_line,
+                    "cache-key/unknown-exemption",
+                    f"{EXEMPT_NAME} lists {name!r}, which is not a CellSpec field",
+                )
+            )
+        elif name in covered:
+            findings.append(
+                Finding(
+                    results.relpath,
+                    exempt_line,
+                    "cache-key/stale-exemption",
+                    f"{EXEMPT_NAME} lists {name!r} but the key computation reads "
+                    "it — drop the exemption",
+                )
+            )
+    return findings

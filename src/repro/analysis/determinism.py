@@ -1,0 +1,183 @@
+"""``determinism``: no wall-clock, unseeded RNG or set-order dependence.
+
+Reports, cache keys and the parity tests all assume a simulation is a pure
+function of (workload spec, system config, seed).  Three AST patterns can
+silently break that:
+
+* **wall-clock reads** — ``time.time()``/``strftime``/``datetime.now()``
+  and friends produce values that differ run to run; anything derived from
+  them (progress stamps excepted, via suppressions) poisons byte-stable
+  output;
+* **unseeded RNGs** — the module-level ``random.*`` functions, a bare
+  ``random.Random()`` and NumPy's global/``default_rng()`` entropy draw
+  OS seed material; every RNG in this repo must be constructed from an
+  explicit seed;
+* **set iteration** — iterating a set literal or ``set(...)`` call feeds
+  hash-salted order into whatever consumes the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from . import Finding, Project, SourceFile, dotted_name, register
+
+#: Dotted call targets whose results differ between identical runs.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.strftime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Module-level ``random.*`` functions backed by the global (OS-seeded) RNG.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "uniform",
+        "gauss",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+    }
+)
+
+#: ``numpy.random`` attributes that draw from global or OS-seeded state.
+GLOBAL_NUMPY_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+    }
+)
+
+
+def _bare_name_imports(tree: ast.Module) -> Set[str]:
+    """Names imported *from* time/datetime that the banned set covers."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if any(banned.endswith(f".{alias.name}") for banned in WALL_CLOCK_CALLS):
+                    names.add(local)
+    return names
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _check_file(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    bare_clock_names = _bare_name_imports(source.tree)
+
+    def found(node: ast.AST, rule: str, message: str) -> None:
+        findings.append(Finding(source.relpath, node.lineno, f"determinism/{rule}", message))
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                leaf = dotted.rsplit(".", 1)[-1]
+                if dotted in WALL_CLOCK_CALLS or any(
+                    dotted.endswith(f".{banned}") for banned in WALL_CLOCK_CALLS
+                ):
+                    found(
+                        node,
+                        "wall-clock",
+                        f"{dotted}() is nondeterministic across runs; results, keys "
+                        "and reports must be pure functions of the seed",
+                    )
+                elif dotted.startswith("random.") and leaf in GLOBAL_RANDOM_FNS:
+                    found(
+                        node,
+                        "unseeded-random",
+                        f"{dotted}() uses the OS-seeded global RNG; construct "
+                        "random.Random(seed) explicitly",
+                    )
+                elif dotted == "random.Random" and not node.args:
+                    found(
+                        node,
+                        "unseeded-random",
+                        "random.Random() without a seed draws OS entropy; pass the "
+                        "workload seed",
+                    )
+                elif (dotted.endswith("random.default_rng") and not node.args) or (
+                    dotted.startswith(("np.random.", "numpy.random."))
+                    and leaf in GLOBAL_NUMPY_RANDOM
+                ):
+                    found(
+                        node,
+                        "unseeded-random",
+                        f"{dotted}() draws from unseeded NumPy RNG state; seed it "
+                        "explicitly from the workload seed",
+                    )
+            elif (
+                isinstance(node.func, ast.Name) and node.func.id in bare_clock_names
+            ):
+                found(
+                    node,
+                    "wall-clock",
+                    f"{node.func.id}() (imported from time/datetime) is "
+                    "nondeterministic across runs",
+                )
+        elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+            found(
+                node,
+                "set-iteration",
+                "iterating a set has hash-salted order; sort it (or iterate an "
+                "ordered container) before anything order-sensitive consumes it",
+            )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter):
+                    found(
+                        comp.iter,
+                        "set-iteration",
+                        "comprehension over a set has hash-salted order; sort it "
+                        "before anything order-sensitive consumes it",
+                    )
+    return findings
+
+
+@register(
+    "determinism",
+    "no wall-clock reads, unseeded RNGs or set-iteration order under src/repro",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.package_files():
+        findings.extend(_check_file(source))
+    return findings

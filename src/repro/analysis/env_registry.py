@@ -1,0 +1,112 @@
+"""``env-registry``: ``REPRO_*`` variables exist only via :mod:`repro.envvars`.
+
+The registry module declares every environment variable once (name,
+default, description) and is what ``--help`` epilogs and the README
+render; this checker is what stops the code from drifting past it:
+
+* ``raw-read`` — an ``os.environ`` / ``os.getenv`` access anywhere under
+  ``src/repro`` except ``envvars.py`` itself (call sites must go through
+  ``EnvVar.read()``, which also canonicalizes the "blank means unset"
+  semantics);
+* ``literal-name`` — a string literal spelling a ``REPRO_*`` name outside
+  ``envvars.py`` (use ``envvars.<VAR>.name``, so a rename cannot miss a
+  site; this also catches reads of variables that were never declared).
+
+Prose mentioning a variable inside a longer docstring sentence does not
+trip the literal scan — only a constant that *is exactly* a ``REPRO_*``
+name, i.e. something the code could pass to a raw environ lookup.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from . import Finding, Project, dotted_name, register
+
+ENV_MODULE = "envvars.py"
+_NAME_RE = re.compile(r"REPRO_[A-Z0-9_]+\Z")
+
+
+def _declared_names(project: Project) -> Set[str]:
+    path = project.package_root / ENV_MODULE
+    if not path.is_file():
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(project.source(path).tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _NAME_RE.match(node.value)
+        ):
+            names.add(node.value)
+    return names
+
+
+@register(
+    "env-registry",
+    "every REPRO_* environment variable is declared in and read via repro.envvars",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    registry_path = project.package_root / ENV_MODULE
+    if not registry_path.is_file():
+        findings.append(
+            Finding(
+                project.relpath(registry_path),
+                1,
+                "env-registry/missing-anchor",
+                "expected the repro/envvars.py registry module to exist",
+            )
+        )
+        return findings
+    declared = _declared_names(project)
+    for source in project.package_files():
+        if source.path == registry_path.resolve():
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted in ("os.environ", "os.getenv", "os.putenv"):
+                    findings.append(
+                        Finding(
+                            source.relpath,
+                            node.lineno,
+                            "env-registry/raw-read",
+                            f"{dotted} accessed outside repro/envvars.py; declare "
+                            "the variable there and use EnvVar.read()",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in ("environ", "getenv"):
+                        findings.append(
+                            Finding(
+                                source.relpath,
+                                node.lineno,
+                                "env-registry/raw-read",
+                                f"'from os import {alias.name}' outside "
+                                "repro/envvars.py; use the registry instead",
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _NAME_RE.match(node.value)
+            ):
+                hint = (
+                    "spell it via the registry (envvars.<VAR>.name)"
+                    if node.value in declared
+                    else "it is not declared in repro/envvars.py at all"
+                )
+                findings.append(
+                    Finding(
+                        source.relpath,
+                        node.lineno,
+                        "env-registry/literal-name",
+                        f"string literal {node.value!r} outside repro/envvars.py; "
+                        f"{hint}",
+                    )
+                )
+    return findings

@@ -1,0 +1,193 @@
+"""``lock-discipline``: shared state is only mutated under its lock.
+
+Any class that creates ``self._lock = threading.Lock()`` (or ``RLock``) in
+``__init__`` has declared that its instances are shared across threads —
+``repro.serve``'s job service, the result cache's traffic counters.  For
+those classes, every mutation of an instance attribute outside ``__init__``
+must sit lexically inside a ``with self._lock:`` block.
+
+Exemptions, because they are safe by construction:
+
+* attributes initialized to inherently thread-safe objects
+  (``queue.Queue``, ``itertools.count``, ``threading.*`` primitives) —
+  their own methods synchronize;
+* methods whose name ends in ``_locked`` — the repo's convention for
+  "caller holds the lock" helpers (the checker cannot see dynamic callers,
+  so the convention carries the proof obligation).
+
+Reads are deliberately not flagged: the repo tolerates torn reads of
+monotonic counters, and flagging them would drown the real signal (lost
+``+= 1`` updates and list/dict races).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from . import Finding, Project, SourceFile, dotted_name, register, walk_with_parents
+
+#: Constructors whose instances synchronize internally.
+THREAD_SAFE_TYPES = frozenset(
+    {
+        "queue.Queue",
+        "queue.SimpleQueue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "collections.deque",
+        "itertools.count",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Event",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Method names that mutate built-in containers in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``x`` for ``self.x`` (possibly through a subscript), else None."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attr(cls_init: ast.FunctionDef) -> Optional[str]:
+    """The lock attribute name when ``__init__`` creates one, else None."""
+    for node in ast.walk(cls_init):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            dotted = dotted_name(node.value.func)
+            if dotted in ("threading.Lock", "threading.RLock"):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        return attr
+    return None
+
+
+def _guarded_attrs(cls_init: ast.FunctionDef, lock_attr: str) -> Set[str]:
+    guarded: Set[str] = set()
+    for node in ast.walk(cls_init):
+        if not isinstance(node, ast.Assign):
+            continue
+        thread_safe = (
+            isinstance(node.value, ast.Call)
+            and dotted_name(node.value.func) in THREAD_SAFE_TYPES
+        )
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None and attr != lock_attr and not thread_safe:
+                guarded.add(attr)
+    return guarded
+
+
+def _under_lock(parents, lock_attr: str) -> bool:
+    for parent in parents:
+        if not isinstance(parent, ast.With):
+            continue
+        for item in parent.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):  # e.g. a hypothetical self._lock() guard
+                expr = expr.func
+            if _self_attr(expr) == lock_attr:
+                return True
+    return False
+
+
+def _check_class(source: SourceFile, cls: ast.ClassDef) -> List[Finding]:
+    init = next(
+        (
+            member
+            for member in cls.body
+            if isinstance(member, ast.FunctionDef) and member.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return []
+    lock_attr = _lock_attr(init)
+    if lock_attr is None:
+        return []
+    guarded = _guarded_attrs(init, lock_attr)
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, method: ast.FunctionDef, attr: str, verb: str) -> None:
+        findings.append(
+            Finding(
+                source.relpath,
+                node.lineno,
+                "lock-discipline/unlocked-mutation",
+                f"{cls.name}.{method.name}() {verb} self.{attr} outside "
+                f"'with self.{lock_attr}:' — racing threads can lose or tear "
+                "the update (suffix the method with _locked if every caller "
+                "already holds the lock)",
+            )
+        )
+
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__" or method.name.endswith("_locked"):
+            continue
+        for node, parents in walk_with_parents(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr in guarded and not _under_lock(parents, lock_attr):
+                        flag(node, method, attr, "assigns")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr in guarded and not _under_lock(parents, lock_attr):
+                        flag(node, method, attr, "deletes from")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+            ):
+                attr = _self_attr(node.func.value)
+                if attr in guarded and not _under_lock(parents, lock_attr):
+                    flag(node, method, attr, f"calls .{node.func.attr}() on")
+    return findings
+
+
+@register(
+    "lock-discipline",
+    "lock-owning classes only mutate shared attributes under the lock",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.package_files():
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(_check_class(source, node))
+    return findings

@@ -26,6 +26,8 @@ machines).  Run with ``python -m repro.bench --quick`` for a CI-sized
 smoke version, or ``--check-against BENCH_hotloop.json`` for the gate.
 """
 
+# repro: allow-file[determinism] timing harness: perf_counter/strftime feed
+# only the measurement fields of BENCH_*.json, never simulation results
 from __future__ import annotations
 
 import json

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from . import envvars
 from .errors import ConfigurationError
 
 #: Cache block size used throughout the paper (bytes).
@@ -48,7 +49,8 @@ SCALED_LLC_FLOOR_BYTES = 4 * 1024
 #: (``experiments``, ``sweeps``, ``bench``) when ``--backend`` is not given.
 #: Backends change only execution strategy, never results: reports are
 #: byte-identical across backends (see :mod:`repro.sim.backends`).
-BACKEND_ENV_VAR = "REPRO_BACKEND"
+#: Declared in :mod:`repro.envvars`; this alias keeps the historical import.
+BACKEND_ENV_VAR = envvars.BACKEND.name
 
 #: Backend used when neither an explicit argument nor the environment
 #: variable selects one.

@@ -52,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # repro: allow[determinism] progress display only, never in the report
     started = time.time()
     try:
         report = run_experiment(
@@ -78,7 +79,7 @@ def main(argv=None) -> int:
             f"result cache: {stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['stored']} stored"
         )
-    print(f"({time.time() - started:.1f}s)")
+    print(f"({time.time() - started:.1f}s)")  # repro: allow[determinism] progress display
     if args.json:
         report.save(args.json)
         print(f"report written to {args.json}")

@@ -22,11 +22,11 @@ same role.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import envvars
 from ..config import (
     SystemConfig,
     paper_pif_config,
@@ -45,9 +45,10 @@ from ..workloads.trace import TraceSet
 from ..workloads.trace_cache import TraceCache, trace_cache_key
 
 #: Environment variable consulted when ``workers`` is not given explicitly:
-#: set ``REPRO_WORKERS=4`` to route every experiment through the parallel
-#: executor (CI uses this to exercise the parallel path for the whole suite).
-WORKERS_ENV_VAR = "REPRO_WORKERS"
+#: set it to 4 to route every experiment through the parallel executor (CI
+#: uses this to exercise the parallel path for the whole suite).  Declared
+#: in :mod:`repro.envvars`; this alias keeps the historical import working.
+WORKERS_ENV_VAR = envvars.WORKERS.name
 
 #: Per-process memo of generated trace sets (key -> TraceSet), bounded so a
 #: long-lived worker or test process cannot accumulate traces forever.
@@ -231,8 +232,8 @@ def resolve_workers(workers: Optional[int]) -> int:
                 f" (or leave it unset / unset {WORKERS_ENV_VAR} to run serially)"
             )
         return workers
-    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
-    if not raw:
+    raw = envvars.WORKERS.read()
+    if raw is None:
         return 0
     try:
         count = int(raw)

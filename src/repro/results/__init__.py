@@ -50,10 +50,12 @@ import os
 import re
 import sys
 import tempfile
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from .. import envvars
 from ..config import SystemConfig
 from ..errors import ConfigurationError
 from ..sim.engine import CoreResult, SimulationResult
@@ -77,13 +79,14 @@ SIM_CODE_VERSION = "sim-v1-pr6"
 #: Default cache directory (sibling of ``.trace_cache``).
 DEFAULT_RESULT_CACHE_DIR = ".result_cache"
 
-#: Environment variable naming a default cache directory: set
-#: ``REPRO_RESULT_CACHE=.result_cache`` to switch the CLIs on without the
-#: ``--result-cache`` flag (``--no-result-cache`` still wins).
-RESULT_CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+#: Environment variable naming a default cache directory, to switch the
+#: CLIs on without the ``--result-cache`` flag (``--no-result-cache`` still
+#: wins).  Declared in :mod:`repro.envvars`; alias kept for imports.
+RESULT_CACHE_ENV_VAR = envvars.RESULT_CACHE.name
 
 #: Environment variable overriding the size cap (bytes; 0 = unlimited).
-MAX_BYTES_ENV_VAR = "REPRO_RESULT_CACHE_MAX_BYTES"
+#: Declared in :mod:`repro.envvars`; alias kept for imports.
+MAX_BYTES_ENV_VAR = envvars.RESULT_CACHE_MAX_BYTES.name
 
 #: Default on-disk budget.  Result entries are a few hundred bytes of
 #: counters each, so 64 MB holds ~10^5 cells — months of sweep traffic.
@@ -136,8 +139,8 @@ def _resolve_max_bytes(max_bytes: Optional[int]) -> int:
         if max_bytes < 0:
             raise ConfigurationError("result cache max_bytes cannot be negative")
         return max_bytes
-    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
-    if not raw:
+    raw = envvars.RESULT_CACHE_MAX_BYTES.read()
+    if raw is None:
         return DEFAULT_MAX_BYTES
     try:
         value = int(raw)
@@ -158,6 +161,17 @@ def system_digest(system: SystemConfig) -> str:
     """
     payload = json.dumps(asdict(system), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: :class:`~repro.experiments.cells.CellSpec` fields that may legitimately
+#: be read by the execution path without participating in the result key.
+#: ``backend`` is execution strategy only — results are byte-identical
+#: across backends (pinned by the parity tests), so a result computed by
+#: one backend is valid for all.  The ``cache-key`` checker of
+#: :mod:`repro.analysis` cross-references every cell field the execution
+#: path reads against the fields reachable from :func:`result_cache_key`;
+#: anything uncovered and not listed here fails the analysis gate.
+RESULT_KEY_EXEMPT_CELL_FIELDS = frozenset({"backend"})
 
 
 def result_cache_key(cell, code_version: str = SIM_CODE_VERSION) -> str:
@@ -295,6 +309,12 @@ class ResultCache:
         self._directory = Path(directory)
         self._max_bytes = _resolve_max_bytes(max_bytes)
         self._code_version = code_version
+        #: Guards the traffic counters: one ResultCache is shared by every
+        #: job thread of a ``repro.serve`` deployment, and unsynchronized
+        #: ``+= 1`` increments lose updates under concurrency.  On-disk
+        #: state needs no lock — publication is atomic (temp +
+        #: ``os.replace``) and any read problem is a miss by design.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stored = 0
@@ -320,12 +340,13 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         """This process's cache traffic (the report/service counters)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stored": self.stored,
-            "evicted": self.evicted,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stored": self.stored,
+                "evicted": self.evicted,
+            }
 
     def usage(self) -> Dict[str, int]:
         """Current on-disk footprint: entry count and total bytes."""
@@ -412,7 +433,8 @@ class ResultCache:
             if total <= self._max_bytes:
                 break
             if self._remove_entry(key):
-                self.evicted += 1
+                with self._lock:
+                    self.evicted += 1
             total -= size
 
     def load(self, key: str, system: SystemConfig) -> Optional[SimulationResult]:
@@ -436,14 +458,16 @@ class ResultCache:
             column = _load_column(column_path, int(header["total"]))
             result = _result_from_entry(header, column, system)
         except (OSError, ValueError, KeyError, TypeError, SyntaxError):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         for path in (sidecar_path, column_path):
             try:
                 os.utime(path)  # LRU touch: protect hot entries from eviction
             except OSError:
                 pass
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return result
 
     def store(self, key: str, result: SimulationResult) -> None:
@@ -465,7 +489,8 @@ class ResultCache:
         except OSError:
             # A read-only or full filesystem must not fail the experiment.
             return
-        self.stored += 1
+        with self._lock:
+            self.stored += 1
         self._enforce_cap()
 
     def _replace_with_temp(self, key: str, destination: Path, blob: bytes) -> None:
@@ -504,7 +529,7 @@ def resolve_result_cache_dir(
         return None
     if explicit is not None:
         return str(explicit)
-    env = os.environ.get(RESULT_CACHE_ENV_VAR, "").strip()
+    env = envvars.RESULT_CACHE.read()
     if env:
         return env
     return default

@@ -48,13 +48,13 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import os
 import queue
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
+from .. import envvars
 from ..errors import ConfigurationError, ReproError
 from ..experiments import run_experiment
 from ..results import ResultCache, as_result_cache
@@ -67,15 +67,16 @@ JOB_KINDS: Tuple[str, ...] = ("experiment", "sweep")
 #: jobs finish, so a long-running service's job table cannot grow without
 #: bound (reports are a few KB each and used to accumulate forever).
 #: Queued and running jobs are never pruned.  Overridable per deployment
-#: via ``REPRO_SERVE_RETAINED_JOBS`` or the constructor argument.
+#: via ``REPRO_SERVE_RETAINED_JOBS`` or the constructor argument.  Declared
+#: in :mod:`repro.envvars`; this alias keeps the historical import working.
 DEFAULT_RETAINED_JOBS = 256
-RETAINED_JOBS_ENV_VAR = "REPRO_SERVE_RETAINED_JOBS"
+RETAINED_JOBS_ENV_VAR = envvars.SERVE_RETAINED_JOBS.name
 
 
 def _resolve_retained_jobs(retained_jobs: Optional[int]) -> int:
     if retained_jobs is None:
-        raw = os.environ.get(RETAINED_JOBS_ENV_VAR, "").strip()
-        if not raw:
+        raw = envvars.SERVE_RETAINED_JOBS.read()
+        if raw is None:
             return DEFAULT_RETAINED_JOBS
         try:
             retained_jobs = int(raw)
@@ -217,26 +218,45 @@ class ExperimentService:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for index in range(self._job_threads):
-            thread = threading.Thread(
-                target=self._work, name=f"repro-serve-job-{index}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        """Spawn the job threads (idempotent, safe to race with itself).
+
+        The started-flag check and the thread bookkeeping happen under
+        ``self._lock``: two concurrent ``start()`` calls (e.g. a CLI and a
+        health-check hook both poking the service) must spawn exactly
+        ``job_threads`` workers, not two full sets.
+        """
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            # Starting under the lock is safe (a fresh worker blocks on
+            # queue.get, not the lock) and means a racing stop() can never
+            # snapshot a thread that has not been started yet.
+            for index in range(self._job_threads):
+                thread = threading.Thread(
+                    target=self._work, name=f"repro-serve-job-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
 
     def stop(self) -> None:
-        """Drain-free shutdown: workers exit after their current job."""
-        if not self._started:
-            return
-        for _ in self._threads:
+        """Drain-free shutdown: workers exit after their current job.
+
+        The flag flip and the thread-list snapshot happen under
+        ``self._lock``, but the joins must not: workers acquire the same
+        lock to publish job results, so joining while holding it would
+        deadlock against any worker mid-job.
+        """
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            threads = list(self._threads)
+            self._threads.clear()
+        for _ in threads:
             self._queue.put(None)
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=30)
-        self._threads.clear()
-        self._started = False
 
     # -- submission and queries -------------------------------------------
 

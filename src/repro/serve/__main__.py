@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import envvars
 from ..cli import add_options, result_cache_from_args
 from ..errors import ReproError
 from ..results import DEFAULT_RESULT_CACHE_DIR
@@ -30,6 +31,9 @@ def build_parser() -> argparse.ArgumentParser:
         "background job queue, in-flight dedupe and a content-addressed "
         "result cache (endpoints: POST /submit, GET /status/<job>, "
         "GET /result/<job>, GET /cache/stats).",
+        epilog="environment variables (see repro/envvars.py):\n"
+        + envvars.help_text(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     add_options(parser, "workers", "trace-cache", "backend", "result-cache")
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import abc
 import importlib.util
-import os
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from ...config import BACKEND_ENV_VAR, DEFAULT_BACKEND
+from ... import envvars
+from ...config import DEFAULT_BACKEND
 from ...errors import BackendError
 
 if TYPE_CHECKING:
@@ -96,7 +96,7 @@ def resolve_backend_name(explicit: Optional[str] = None) -> str:
     """The effective backend name: explicit arg > ``REPRO_BACKEND`` > default."""
     if explicit:
         return explicit
-    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    env = envvars.BACKEND.read()
     return env if env else DEFAULT_BACKEND
 
 

@@ -60,6 +60,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from .. import envvars
 from ..config import SystemConfig
 from ..errors import ConfigurationError, ReproError
 from .address_space import AddressWindow, WorkloadAddressLayout
@@ -77,8 +78,9 @@ CACHE_FORMAT_VERSION = 3
 #: Default cache directory (under the working directory, like ``.pytest_cache``).
 DEFAULT_CACHE_DIR = ".trace_cache"
 
-#: Environment variable overriding the default size cap (bytes; 0 = unlimited).
-MAX_BYTES_ENV_VAR = "REPRO_TRACE_CACHE_MAX_BYTES"
+#: Environment variable overriding the default size cap (bytes; 0 =
+#: unlimited).  Declared in :mod:`repro.envvars`; alias kept for imports.
+MAX_BYTES_ENV_VAR = envvars.TRACE_CACHE_MAX_BYTES.name
 
 #: Default on-disk budget: enough for hundreds of scaled trace sets while
 #: keeping an unattended sweep box from filling its disk.
@@ -107,8 +109,8 @@ def _resolve_max_bytes(max_bytes: Optional[int]) -> int:
         if max_bytes < 0:
             raise ConfigurationError("trace cache max_bytes cannot be negative")
         return max_bytes
-    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
-    if not raw:
+    raw = envvars.TRACE_CACHE_MAX_BYTES.read()
+    if raw is None:
         return DEFAULT_MAX_BYTES
     try:
         value = int(raw)

@@ -1,0 +1,10 @@
+"""Fixture cell spec with three fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    alpha: str
+    beta: int = 0
+    gamma: int = 0

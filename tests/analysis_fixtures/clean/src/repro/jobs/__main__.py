@@ -1,0 +1,11 @@
+"""Fixture CLI using the shared registry instead of re-declaring flags."""
+
+import argparse
+
+from ..cli import add_options
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    add_options(parser, "seed")
+    return parser

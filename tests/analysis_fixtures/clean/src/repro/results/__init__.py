@@ -1,0 +1,12 @@
+"""Fixture result-key computation: every field covered or exempted."""
+
+import hashlib
+import json
+
+#: gamma is a display-only field in this fixture, never read by execution.
+RESULT_KEY_EXEMPT_CELL_FIELDS = frozenset({"gamma"})
+
+
+def result_cache_key(cell):
+    payload = {"alpha": cell.alpha, "beta": cell.beta}
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()

@@ -1,0 +1,28 @@
+"""Fixture job service mutating shared state only under its lock."""
+
+import queue
+import threading
+
+
+class JobBoard:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._queue = queue.Queue()
+        self._started = False
+
+    def submit(self, job_id, payload):
+        with self._lock:
+            self._jobs[job_id] = payload
+        self._queue.put(job_id)
+
+    def start(self):
+        with self._lock:
+            self._started = True
+
+    def finish(self, job_id):
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def _evict_locked(self, job_id):
+        del self._jobs[job_id]

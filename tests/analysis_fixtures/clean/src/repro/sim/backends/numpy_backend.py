@@ -1,0 +1,41 @@
+"""Fixture vectorized backend with the full escape-hatch discipline."""
+
+
+class _Unsupported(Exception):
+    pass
+
+
+class PythonBackend:
+    def run(self, lanes, inflight, prefetcher, llc=None):
+        return None
+
+
+def _run_alpha(lanes, llc):
+    if llc is not None:
+        raise _Unsupported("the alpha closed form has no LLC model")
+    lanes.reverse()
+
+
+def _run_beta(lanes, inflight, prefetcher, llc):
+    if len(lanes) > 64:
+        raise _Unsupported("too many lanes for the fixture closed form")
+    lanes.clear()
+
+
+class NumPyBackend:
+    name = "numpy"
+
+    def __init__(self):
+        self._python = PythonBackend()
+
+    def run(self, lanes, inflight, prefetcher, llc=None):
+        kind = getattr(prefetcher, "kind", "alpha")
+        try:
+            if kind == "alpha":
+                _run_alpha(lanes, llc)
+                return
+            _run_beta(lanes, inflight, prefetcher, llc)
+            return
+        except _Unsupported:
+            pass
+        self._python.run(lanes, inflight, prefetcher, llc)

@@ -1,0 +1,28 @@
+"""The violations' twin: the same helpers, written determinism-safe."""
+
+import random
+
+from .envvars import FAKE_DECLARED
+
+
+def stamp(logical_step):
+    return logical_step
+
+
+def draw(seed):
+    return random.Random(seed).random()
+
+
+def first(items):
+    for item in sorted(set(items)):
+        return item
+    return None
+
+
+def workers():
+    return FAKE_DECLARED.read() or ""
+
+
+def stamp_suppressed(clock):
+    # A justified suppression on clean code is inert (no "unused" finding).
+    return clock()  # repro: allow[determinism] fixture: demonstrates the grammar

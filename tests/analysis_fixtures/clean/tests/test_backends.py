@@ -1,0 +1,3 @@
+"""Fixture parity-test stand-in: both engine tokens are exercised."""
+
+ENGINE_PARITY_CASES = ["alpha", "beta"]

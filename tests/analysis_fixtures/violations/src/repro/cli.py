@@ -1,0 +1,10 @@
+"""Fixture shared-option registry (the one file allowed to declare them)."""
+
+SHARED_OPTION_STRINGS = frozenset({"--seed"})
+
+
+def add_options(parser, *names):
+    for name in names:
+        if name == "seed":
+            parser.add_argument("--seed", type=int, default=0)
+    return parser

@@ -1,0 +1,15 @@
+"""Fixture registry: declares exactly one variable."""
+
+import os
+
+
+class EnvVar:
+    def __init__(self, name):
+        self.name = name
+
+    def read(self):
+        raw = os.environ.get(self.name, "").strip()
+        return raw or None
+
+
+FAKE_DECLARED = EnvVar("REPRO_FAKE_DECLARED")

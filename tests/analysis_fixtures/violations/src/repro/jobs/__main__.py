@@ -1,0 +1,9 @@
+"""Fixture CLI that re-declares a shared flag instead of using add_options."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=1)
+    return parser

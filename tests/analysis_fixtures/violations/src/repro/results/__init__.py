@@ -1,0 +1,11 @@
+"""Fixture result-key computation: covers alpha only, stale exemptions."""
+
+import hashlib
+import json
+
+RESULT_KEY_EXEMPT_CELL_FIELDS = frozenset({"gamma", "zz"})
+
+
+def result_cache_key(cell):
+    payload = {"alpha": cell.alpha}
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()

@@ -1,0 +1,26 @@
+"""Fixture job service with unlocked mutations of shared state."""
+
+import queue
+import threading
+
+
+class JobBoard:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._queue = queue.Queue()
+        self._started = False
+
+    def submit(self, job_id, payload):
+        self._jobs[job_id] = payload
+        self._queue.put(job_id)
+
+    def start(self):
+        self._started = True
+
+    def finish(self, job_id):
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def _evict_locked(self, job_id):
+        del self._jobs[job_id]

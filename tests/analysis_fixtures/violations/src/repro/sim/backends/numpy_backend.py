@@ -1,0 +1,38 @@
+"""Fixture vectorized backend with broken escape hatches."""
+
+
+class _Unsupported(Exception):
+    pass
+
+
+class PythonBackend:
+    def run(self, lanes, inflight, prefetcher, llc=None):
+        return None
+
+
+def _run_alpha(lanes, llc):
+    lanes.reverse()
+
+
+def _run_beta(lanes, inflight, prefetcher, llc):
+    if len(lanes) > 64:
+        raise _Unsupported("too many lanes for the fixture closed form")
+    lanes.clear()
+
+
+class NumPyBackend:
+    name = "numpy"
+
+    def __init__(self):
+        self._python = PythonBackend()
+
+    def run(self, lanes, inflight, prefetcher, llc=None):
+        kind = getattr(prefetcher, "kind", "alpha")
+        if kind == "alpha":
+            _run_alpha(lanes, llc)
+            return
+        try:
+            _run_beta(lanes, inflight, prefetcher, llc)
+            return
+        except _Unsupported:
+            pass

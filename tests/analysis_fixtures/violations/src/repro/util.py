@@ -1,0 +1,35 @@
+"""Seeded violations: determinism, env-registry and suppression hygiene."""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def draw():
+    return random.random()
+
+
+def first(items):
+    for item in set(items):
+        return item
+    return None
+
+
+def workers():
+    return os.environ.get("REPRO_FAKE", "")
+
+
+def stamp_suppressed():
+    return time.time()  # repro: allow[determinism] fixture: valid suppression
+
+
+def stamp_unexplained():
+    return time.time()  # repro: allow[determinism]
+
+
+def stamp_unknown_checker():
+    return time.time()  # repro: allow[chronomancy] no checker has this id

@@ -1,0 +1,3 @@
+"""Fixture parity-test stand-in: mentions only the beta engine."""
+
+ENGINE_PARITY_CASES = ["beta"]

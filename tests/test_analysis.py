@@ -1,0 +1,288 @@
+"""The repro.analysis invariant suite: fixtures, suppressions, mutations.
+
+Three layers of protection for the checkers themselves:
+
+* the seeded fixture trees pin every checker's exact finding codes, files
+  and line numbers — and that the clean twins produce nothing;
+* the real repository must be clean (the CI gate's contract);
+* mutation tests copy ``src/repro``, reintroduce a representative bug
+  (drop a field from the result-key digest, delete the NumPy backend's
+  exact fallback, unlock a serve mutation) and assert the suite fails —
+  the acceptance criterion that the checkers detect regressions, not just
+  the fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Project, checkers, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+
+#: Every finding the violations tree must produce, exactly.
+EXPECTED_VIOLATIONS = {
+    ("cache-key/uncovered-field", "src/repro/experiments/cells.py", 9),
+    ("cache-key/unknown-exemption", "src/repro/results/__init__.py", 6),
+    ("cli-options/duplicate-option", "src/repro/jobs/__main__.py", 8),
+    ("lock-discipline/unlocked-mutation", "src/repro/serve/__init__.py", 15),
+    ("lock-discipline/unlocked-mutation", "src/repro/serve/__init__.py", 19),
+    ("backend-parity/no-bailout", "src/repro/sim/backends/numpy_backend.py", 13),
+    ("backend-parity/untested-engine", "src/repro/sim/backends/numpy_backend.py", 13),
+    ("backend-parity/no-fallback", "src/repro/sim/backends/numpy_backend.py", 29),
+    ("backend-parity/unguarded-dispatch", "src/repro/sim/backends/numpy_backend.py", 32),
+    ("determinism/wall-clock", "src/repro/util.py", 9),
+    ("determinism/unseeded-random", "src/repro/util.py", 13),
+    ("determinism/set-iteration", "src/repro/util.py", 17),
+    ("env-registry/literal-name", "src/repro/util.py", 23),
+    ("env-registry/raw-read", "src/repro/util.py", 23),
+    ("determinism/wall-clock", "src/repro/util.py", 31),
+    ("suppression/missing-reason", "src/repro/util.py", 31),
+    ("determinism/wall-clock", "src/repro/util.py", 35),
+    ("suppression/unknown-checker", "src/repro/util.py", 35),
+}
+
+
+def _triples(findings):
+    return {(f.code, f.path, f.line) for f in findings}
+
+
+class TestRegistry:
+    def test_at_least_five_checkers_registered(self):
+        ids = [checker.id for checker in checkers()]
+        assert len(ids) >= 5
+        assert ids == sorted(ids)
+        assert set(ids) >= {
+            "determinism",
+            "cache-key",
+            "backend-parity",
+            "lock-discipline",
+            "env-registry",
+            "cli-options",
+        }
+
+    def test_unknown_checker_id_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            run_analysis(project=Project(FIXTURES / "clean"), checker_ids=["nope"])
+
+
+class TestFixtures:
+    def test_violations_tree_yields_exactly_the_seeded_findings(self):
+        findings = run_analysis(project=Project(FIXTURES / "violations"))
+        assert _triples(findings) == EXPECTED_VIOLATIONS
+
+    def test_every_checker_fires_on_the_violations_tree(self):
+        findings = run_analysis(project=Project(FIXTURES / "violations"))
+        fired = {f.checker_id for f in findings}
+        assert fired >= {checker.id for checker in checkers()}
+
+    def test_clean_twin_is_silent(self):
+        assert run_analysis(project=Project(FIXTURES / "clean")) == []
+
+    def test_checker_subset_selection(self):
+        findings = run_analysis(
+            project=Project(FIXTURES / "violations"), checker_ids=["cli-options"]
+        )
+        codes = {f.code for f in findings if f.checker_id == "cli-options"}
+        assert codes == {"cli-options/duplicate-option"}
+
+
+class TestSuppressions:
+    def test_valid_line_suppression_silences_the_finding(self):
+        # util.py:27 has a wall-clock call with a reasoned allow[determinism];
+        # no finding may anchor there while its unsuppressed twins are caught.
+        findings = run_analysis(project=Project(FIXTURES / "violations"))
+        lines = {f.line for f in findings if f.path == "src/repro/util.py"}
+        assert 27 not in lines
+
+    def test_missing_reason_disables_and_reports_the_suppression(self):
+        triples = _triples(run_analysis(project=Project(FIXTURES / "violations")))
+        assert ("suppression/missing-reason", "src/repro/util.py", 31) in triples
+        assert ("determinism/wall-clock", "src/repro/util.py", 31) in triples
+
+    def test_allow_file_covers_the_whole_module(self, tmp_path):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "timing.py").write_text(
+            "# repro: allow-file[determinism] fixture: a timing-only module\n"
+            "import time\n\n\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        findings = run_analysis(
+            project=Project(tmp_path), checker_ids=["determinism"]
+        )
+        assert findings == []
+
+    def test_standalone_comment_line_covers_the_next_line(self, tmp_path):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "timing.py").write_text(
+            "import time\n\n\n"
+            "def now():\n"
+            "    # repro: allow[determinism] fixture: covers the next line\n"
+            "    return time.time()\n"
+        )
+        findings = run_analysis(
+            project=Project(tmp_path), checker_ids=["determinism"]
+        )
+        assert findings == []
+
+    def test_string_literal_cannot_fake_a_suppression(self, tmp_path):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "timing.py").write_text(
+            "import time\n\n"
+            'NOTE = "# repro: allow-file[determinism] not a comment"\n\n\n'
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        findings = run_analysis(
+            project=Project(tmp_path), checker_ids=["determinism"]
+        )
+        assert [f.code for f in findings] == ["determinism/wall-clock"]
+
+
+class TestRealRepository:
+    def test_the_repo_itself_is_clean(self):
+        assert run_analysis(repo_root=REPO_ROOT) == []
+
+
+def _copy_repo(tmp_path) -> Path:
+    root = tmp_path / "repo"
+    (root / "src").mkdir(parents=True)
+    shutil.copytree(
+        REPO_ROOT / "src" / "repro",
+        root / "src" / "repro",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    (root / "tests").mkdir()
+    shutil.copy(REPO_ROOT / "tests" / "test_backends.py", root / "tests")
+    return root
+
+
+def _edit(path: Path, old: str, new: str) -> None:
+    text = path.read_text()
+    assert old in text, f"mutation anchor missing from {path.name}: {old!r}"
+    path.write_text(text.replace(old, new, 1))
+
+
+class TestMutations:
+    """Deliberate regressions in a copy of src/repro must fail the suite."""
+
+    def test_dropping_a_field_from_the_result_key_fails(self, tmp_path):
+        root = _copy_repo(tmp_path)
+        _edit(
+            root / "src" / "repro" / "results" / "__init__.py",
+            '        "engine": cell.engine,\n',
+            "",
+        )
+        findings = run_analysis(project=Project(root), checker_ids=["cache-key"])
+        assert any(
+            f.code == "cache-key/uncovered-field" and "engine" in f.message
+            for f in findings
+        )
+
+    def test_removing_the_exact_fallback_fails(self, tmp_path):
+        root = _copy_repo(tmp_path)
+        _edit(
+            root / "src" / "repro" / "sim" / "backends" / "numpy_backend.py",
+            "        self._python.run(lanes, inflight, prefetcher, llc)\n",
+            "        return\n",
+        )
+        findings = run_analysis(project=Project(root), checker_ids=["backend-parity"])
+        assert any(f.code == "backend-parity/no-fallback" for f in findings)
+
+    def test_unlocking_a_serve_mutation_fails(self, tmp_path):
+        root = _copy_repo(tmp_path)
+        _edit(
+            root / "src" / "repro" / "serve" / "__init__.py",
+            "        with self._lock:\n"
+            "            if not self._started:\n"
+            "                return\n"
+            "            self._started = False\n",
+            "        if not self._started:\n"
+            "            return\n"
+            "        self._started = False\n"
+            "        with self._lock:\n",
+        )
+        findings = run_analysis(project=Project(root), checker_ids=["lock-discipline"])
+        assert any(
+            f.code == "lock-discipline/unlocked-mutation" and "_started" in f.message
+            for f in findings
+        )
+
+    def test_raw_environ_read_fails(self, tmp_path):
+        root = _copy_repo(tmp_path)
+        _edit(
+            root / "src" / "repro" / "experiments" / "cells.py",
+            "    raw = envvars.WORKERS.read()\n",
+            '    raw = os.environ.get("REPRO_WORKERS", "").strip() or None\n',
+        )
+        findings = run_analysis(project=Project(root), checker_ids=["env-registry"])
+        codes = {f.code for f in findings}
+        assert {"env-registry/raw-read", "env-registry/literal-name"} <= codes
+
+
+class TestCommandLine:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_clean_repo_exits_zero(self):
+        result = self._run("--root", str(REPO_ROOT))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "analysis OK" in result.stdout
+
+    def test_violations_exit_nonzero_with_json_payload(self):
+        result = self._run(
+            "--root", str(FIXTURES / "violations"), "--json", "-"
+        )
+        assert result.returncode == 1
+        # stdout carries the JSON document first, then the human lines; parse
+        # the document by brace matching from the start.
+        text = result.stdout
+        depth = 0
+        end = 0
+        for index, char in enumerate(text):
+            if char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+                if depth == 0:
+                    end = index + 1
+                    break
+        payload = json.loads(text[:end])
+        assert payload["count"] == len(EXPECTED_VIOLATIONS)
+        triples = {
+            (f["code"], f["path"], f["line"]) for f in payload["findings"]
+        }
+        assert triples == EXPECTED_VIOLATIONS
+
+    def test_list_names_every_checker(self):
+        result = self._run("--list")
+        assert result.returncode == 0
+        for checker in checkers():
+            assert checker.id in result.stdout
+
+    def test_front_door_routes_analysis(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "analysis", "--root", str(REPO_ROOT)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

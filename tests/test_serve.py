@@ -140,6 +140,55 @@ class TestServiceDirect:
             ExperimentService(job_threads=0)
 
 
+class TestLifecycleLocking:
+    """Regression: start()/stop() mutated _started/_threads outside the lock
+    (flagged by the lock-discipline checker), so concurrent start() calls
+    could each spawn a full worker set."""
+
+    def test_concurrent_starts_spawn_exactly_one_worker_set(self):
+        service = ExperimentService(job_threads=3)
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            service.start()
+
+        racers = [threading.Thread(target=racer) for _ in range(8)]
+        try:
+            for thread in racers:
+                thread.start()
+            for thread in racers:
+                thread.join(timeout=10)
+            assert len(service._threads) == 3
+            assert sum(t.is_alive() for t in service._threads) == 3
+        finally:
+            service.stop()
+        assert service._threads == [] and not service._started
+
+    def test_stop_joins_workers_without_holding_the_lock(self):
+        # A worker publishing its job result needs self._lock; stop() must
+        # therefore join outside the lock or a mid-job shutdown deadlocks.
+        service = ExperimentService(job_threads=1)
+        service.start()
+        job, _ = service.submit("experiment", PARAMS)
+        stopper = threading.Thread(target=service.stop)
+        stopper.start()
+        stopper.join(timeout=120)
+        assert not stopper.is_alive(), "stop() deadlocked against its worker"
+        assert service.job(job.id).status in (QUEUED, DONE, FAILED)
+
+    def test_start_after_stop_restarts_workers(self):
+        service = ExperimentService(job_threads=2)
+        service.start()
+        service.stop()
+        assert service._threads == []
+        service.start()
+        try:
+            assert len(service._threads) == 2
+        finally:
+            service.stop()
+
+
 FAST_PARAMS = {
     "workloads": ["oltp_db2"],
     "engines": ["none"],

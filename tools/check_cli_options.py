@@ -1,59 +1,29 @@
 #!/usr/bin/env python3
-"""Lint gate: shared CLI options may only be declared in ``repro/cli.py``.
+"""Back-compat shim: the cli-options lint now lives in ``repro.analysis``.
 
-The shared flag set (``--system``, ``--scale``, ``--blocks``, ``--seed``,
-``--workers``, ``--trace-cache``, ``--backend``, ``--json``,
-``--result-cache``, ...) used to be re-declared across the module CLIs with
-drifting defaults and help strings; ``repro.cli`` is now their single
-source of truth.  This script walks every python file under ``src/repro``
-except ``cli.py`` and fails when an ``add_argument`` call (re)declares one
-of the shared option strings — the flake8-style per-file check wired into
-the CI lint job and ``tests/test_cli_and_facade.py``.
+This entry point (wired into CI and imported by
+``tests/test_cli_and_facade.py``) delegates to the ``cli-options`` checker
+of :mod:`repro.analysis.cli_options`; run ``python -m repro.analysis`` for
+the full invariant suite.
 
 Exit status: 0 clean, 1 duplicates found.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
-ALLOWED_FILE = PACKAGE_ROOT / "cli.py"
-
-
-def _shared_option_strings() -> frozenset:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.cli import SHARED_OPTION_STRINGS
-
-    return SHARED_OPTION_STRINGS
 
 
 def find_duplicates(package_root: Path = PACKAGE_ROOT) -> list:
     """(path, line, option) triples for every banned declaration."""
-    banned = _shared_option_strings()
-    duplicates = []
-    for path in sorted(package_root.rglob("*.py")):
-        if path == ALLOWED_FILE:
-            continue
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for node in ast.walk(tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "add_argument"
-            ):
-                continue
-            for arg in node.args:
-                if (
-                    isinstance(arg, ast.Constant)
-                    and isinstance(arg.value, str)
-                    and arg.value in banned
-                ):
-                    duplicates.append((path, node.lineno, arg.value))
-    return duplicates
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.cli_options import find_duplicates as _find
+
+    return _find(package_root)
 
 
 def main() -> int:
