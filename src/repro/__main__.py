@@ -23,7 +23,10 @@ _USAGE = (
     "  serve        long-running HTTP experiment service\n"
     "  analysis     static checks of the repo's correctness invariants\n"
     "\n"
-    "run 'python -m repro <command> --help' for command options\n"
+    "run 'python -m repro <command> --help' for command options; every\n"
+    "command epilog lists the REPRO_* environment knobs (including the\n"
+    "out-of-core chunked-streaming window, --chunk-blocks /\n"
+    "REPRO_CHUNK_BLOCKS).  Subsystem map and invariants: ARCHITECTURE.md\n"
 )
 
 

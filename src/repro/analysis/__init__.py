@@ -24,7 +24,11 @@ suite can only sample but an AST walk can prove for every call site:
     :mod:`repro.envvars` and read only through it;
 ``cli-options``
     shared command-line options are declared only in :mod:`repro.cli`
-    (the former ``tools/check_cli_options.py`` gate).
+    (the former ``tools/check_cli_options.py`` gate);
+``facade-docstrings``
+    every symbol re-exported by ``repro/__init__.py`` (the stable public
+    API) resolves to a documented definition — functions, classes and
+    their public methods, modules, and ``#:``-annotated constants.
 
 Checkers are registered with :func:`register` and run with
 :func:`run_analysis`, which applies inline suppressions::
@@ -77,12 +81,14 @@ class Finding:
 
     @property
     def checker_id(self) -> str:
+        """The registering checker's id (``code`` before the slash)."""
         return self.code.split("/", 1)[0]
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.code}] {self.message}"
 
     def to_dict(self) -> Dict[str, object]:
+        """The plain-dict form the ``--json`` CLI output serializes."""
         return {
             "path": self.path,
             "line": self.line,
@@ -159,6 +165,7 @@ _BUILTIN_MODULES = (
     "lock_discipline",
     "env_registry",
     "cli_options",
+    "facade_docstrings",
 )
 
 

@@ -1,0 +1,235 @@
+"""``facade-docstrings``: the public API surface is fully documented.
+
+The names in ``repro/__init__.py``'s ``__all__`` are the package's stable
+public API — what ``import repro`` users and the README's examples see.
+This checker resolves each of those names back to its definition (through
+re-export chains, without importing anything, so fixture trees work) and
+requires a docstring on:
+
+* every re-exported function and class;
+* every public method of a re-exported class (helpers starting with ``_``
+  and dunders other than the class's own contract are private);
+* every re-exported module (``repro.envvars``, ``repro.errors``) — its
+  module docstring;
+* every re-exported module-level constant — a ``#:`` doc-comment above
+  the assignment or a docstring literal directly below it.
+
+Docstring linters usually sample whole packages; scoping the rule to the
+facade makes it absolute instead: nothing undocumented can be re-exported,
+and a name ``__all__`` promises but the checker cannot resolve is itself a
+finding (``unresolved``), so the contract cannot silently rot when a
+symbol moves.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from . import Finding, Project, SourceFile, register
+
+CHECKER_ID = "facade-docstrings"
+
+#: Re-export chains longer than this are a layout bug, not an API.
+_MAX_HOPS = 8
+
+
+def _module_path(package_root: Path, current: Path, level: int, module: Optional[str]) -> Optional[Path]:
+    """The source file a relative import resolves to (None when absent).
+
+    ``current`` is the importing file; ``level``/``module`` come from the
+    ``ast.ImportFrom`` node.  Only relative imports are resolved — the
+    facade never re-exports third-party names.
+    """
+    if level == 0:
+        return None
+    # Level 1 is the importing file's own package: its directory for a
+    # package __init__, its parent for a plain module — the same path.
+    base = current.parent
+    for _ in range(level - 1):
+        base = base.parent
+    if module:
+        base = base.joinpath(*module.split("."))
+    direct = base.with_suffix(".py")
+    if direct.is_file():
+        return direct
+    package = base / "__init__.py"
+    if package.is_file():
+        return package
+    return None
+
+
+def _doc_comment_above(source: SourceFile, lineno: int) -> bool:
+    """True when the line(s) directly above ``lineno`` are ``#:`` comments."""
+    index = lineno - 2  # 0-based line above the assignment
+    return index >= 0 and source.lines[index].lstrip().startswith("#:")
+
+
+def _docstring_below(body: List[ast.stmt], index: int) -> bool:
+    """True when the statement after ``body[index]`` is a string literal."""
+    if index + 1 >= len(body):
+        return False
+    nxt = body[index + 1]
+    return (
+        isinstance(nxt, ast.Expr)
+        and isinstance(nxt.value, ast.Constant)
+        and isinstance(nxt.value.value, str)
+    )
+
+
+def _find_definition(
+    project: Project, source: SourceFile, name: str, hops: int = 0
+) -> Tuple[Optional[SourceFile], Optional[ast.stmt]]:
+    """The (file, node) defining ``name``, following re-export chains.
+
+    The node is a Function/Class/Assign statement, or None with the file
+    set when ``name`` is a module re-export; (None, None) when unresolved.
+    """
+    if hops > _MAX_HOPS:
+        return None, None
+    body = source.tree.body
+    for index, node in enumerate(body):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name == name:
+                return source, node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return source, node
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return source, node
+    for node in body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        for alias in node.names:
+            if (alias.asname or alias.name) != name:
+                continue
+            if node.module is None:
+                # ``from . import envvars`` — the name is a module.
+                target = _module_path(
+                    project.package_root, source.path, node.level, alias.name
+                )
+                return (project.source(target), None) if target else (None, None)
+            target = _module_path(
+                project.package_root, source.path, node.level, node.module
+            )
+            if target is None:
+                return None, None
+            return _find_definition(project, project.source(target), alias.name, hops + 1)
+    return None, None
+
+
+def _facade_all(tree: ast.Module) -> List[Tuple[str, int]]:
+    """(name, facade-line) pairs from the facade's ``__all__`` list."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return [
+                (const.value, const.lineno)
+                for const in ast.walk(node.value)
+                if isinstance(const, ast.Constant) and isinstance(const.value, str)
+            ]
+    return []
+
+
+def _check_class(source: SourceFile, node: ast.ClassDef, findings: List[Finding]) -> None:
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name.startswith("_"):
+            continue
+        if ast.get_docstring(item) is None:
+            findings.append(
+                Finding(
+                    source.relpath,
+                    item.lineno,
+                    f"{CHECKER_ID}/missing",
+                    f"public method {node.name}.{item.name} of a re-exported "
+                    "class has no docstring",
+                )
+            )
+
+
+@register(
+    CHECKER_ID,
+    "every symbol re-exported by repro/__init__.py resolves to a documented definition",
+)
+def check(project: Project) -> List[Finding]:
+    facade_path = project.package_root / "__init__.py"
+    if not facade_path.is_file():
+        return [
+            Finding(
+                project.relpath(facade_path),
+                1,
+                f"{CHECKER_ID}/missing-anchor",
+                "expected repro/__init__.py (the public facade) to exist",
+            )
+        ]
+    facade = project.source(facade_path)
+    findings: List[Finding] = []
+    if ast.get_docstring(facade.tree) is None:
+        findings.append(
+            Finding(
+                facade.relpath,
+                1,
+                f"{CHECKER_ID}/missing",
+                "the facade module itself has no docstring",
+            )
+        )
+    for name, facade_line in _facade_all(facade.tree):
+        if name.startswith("__") and name.endswith("__"):
+            continue  # dunder metadata such as __version__
+        source, node = _find_definition(project, facade, name)
+        if source is None:
+            findings.append(
+                Finding(
+                    facade.relpath,
+                    facade_line,
+                    f"{CHECKER_ID}/unresolved",
+                    f"__all__ re-exports {name!r} but its definition cannot "
+                    "be resolved from the facade's imports",
+                )
+            )
+            continue
+        if node is None:  # a re-exported module
+            if ast.get_docstring(source.tree) is None:
+                findings.append(
+                    Finding(
+                        source.relpath,
+                        1,
+                        f"{CHECKER_ID}/missing",
+                        f"re-exported module {name!r} has no module docstring",
+                    )
+                )
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    Finding(
+                        source.relpath,
+                        node.lineno,
+                        f"{CHECKER_ID}/missing",
+                        f"re-exported {name!r} has no docstring",
+                    )
+                )
+            if isinstance(node, ast.ClassDef):
+                _check_class(source, node, findings)
+            continue
+        # A module-level constant: needs a #: doc-comment or a docstring
+        # literal attached to the assignment.
+        body = source.tree.body
+        index = body.index(node)
+        if not _doc_comment_above(source, node.lineno) and not _docstring_below(body, index):
+            findings.append(
+                Finding(
+                    source.relpath,
+                    node.lineno,
+                    f"{CHECKER_ID}/missing",
+                    f"re-exported constant {name!r} has neither a '#:' "
+                    "doc-comment nor a docstring literal",
+                )
+            )
+    return findings

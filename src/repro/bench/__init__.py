@@ -17,7 +17,10 @@ becomes part of the repo's recorded trajectory:
   carries a ``trace_generation`` section (cold vectorized generation vs
   warm memory-mapped cache loads per suite entry, plus the v2-pickle
   old-vs-new load ratio), so trace production is part of the same
-  regression wall as replay.
+  regression wall as replay, and a ``trace_scale`` section (peak chunked
+  simulation memory on 10x vs 100x traces plus exact chunked-vs-monolithic
+  report equality), so the out-of-core chunked-streaming bound of
+  ARCHITECTURE.md is part of it too.
 
 :func:`check_against` is the CI bench-regression gate: it compares a fresh
 hotloop run's *speedup ratios* against the committed ``BENCH_hotloop.json``
@@ -296,6 +299,93 @@ def _bench_trace_generation(
     return result
 
 
+def _bench_trace_scale(
+    quick: bool, seed: int, workload: str = "oltp_db2"
+) -> Dict[str, object]:
+    """Out-of-core chunked streaming: peak memory must be flat in trace length.
+
+    Simulates SHIFT with a fixed ``--chunk-blocks`` window on a 10x and a
+    100x trace and compares peak simulation memory (``tracemalloc``):
+    ``peak_flatness`` is the 100x peak over the 10x peak, which a healthy
+    chunked path keeps near 1.0 — the working set is one window plus the
+    serialized boundary checkpoint, both independent of trace length — and
+    the CI gate caps at :data:`_GATE_TRACE_SCALE_FLATNESS_MAX`.  The 100x
+    monolithic run, whose peak grows with the full trace (the Python loops
+    materialize each lane's address list), is the contrast:
+    ``monolithic_vs_chunked`` is the memory reduction chunking buys at
+    this length, and ``chunked_matches_monolithic`` asserts the chunked
+    report is exactly the monolithic one (counter-for-counter) — the
+    chunking-invariance contract of ARCHITECTURE.md.  Peaks are absolute
+    bytes, so the flatness ratio transfers across machines the same way
+    the speedup ratios do.
+    """
+    import tracemalloc
+    from dataclasses import asdict
+    from functools import partial
+
+    from ..sim import simulate
+
+    chunk_blocks = 1000
+    blocks_mid = chunk_blocks * 10
+    blocks_large = chunk_blocks * 100
+    num_cores = 4
+    sys_config = system_for("scaled", 16, num_cores)
+    shift_config = scaled_shift_config(sys_config.scale)
+    spec = scaled_workload(workload_by_name(workload), sys_config.scale)
+    mid = generate_traces(spec, sys_config, seed=seed, blocks_per_core=blocks_mid)
+    large = generate_traces(spec, sys_config, seed=seed, blocks_per_core=blocks_large)
+
+    def _run(trace_set, window):
+        return simulate(
+            trace_set,
+            sys_config,
+            "shift",
+            backend="python",
+            chunk_blocks=window,
+            shift_config=shift_config,
+        )
+
+    def _peak_of(thunk):
+        tracemalloc.start()
+        try:
+            value = thunk()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return value, peak
+
+    _mid_result, mid_peak = _peak_of(partial(_run, mid, chunk_blocks))
+    chunked_result, chunked_peak = _peak_of(partial(_run, large, chunk_blocks))
+    mono_result, mono_peak = _peak_of(partial(_run, large, None))
+    matches = [asdict(c) for c in chunked_result.cores] == [
+        asdict(c) for c in mono_result.cores
+    ] and asdict(chunked_result.llc) == asdict(mono_result.llc)
+    return {
+        "description": "out-of-core chunked streaming: SHIFT with a fixed "
+        "--chunk-blocks window on 10x and 100x traces; peak tracemalloc bytes "
+        "must be flat in trace length (peak_flatness, CI-capped), the 100x "
+        "monolithic run is the memory-reduction contrast, and the chunked "
+        "report must equal the monolithic one exactly",
+        "config": {
+            "workload": workload,
+            "engine": "shift",
+            "seed": seed,
+            "num_cores": num_cores,
+            "chunk_blocks": chunk_blocks,
+            "blocks_mid": blocks_mid,
+            "blocks_large": blocks_large,
+        },
+        "chunked_mid_peak_bytes": mid_peak,
+        "chunked_large_peak_bytes": chunked_peak,
+        "monolithic_large_peak_bytes": mono_peak,
+        "peak_flatness": round(chunked_peak / mid_peak, 3) if mid_peak else 0.0,
+        "monolithic_vs_chunked": (
+            round(mono_peak / chunked_peak, 2) if chunked_peak else 0.0
+        ),
+        "chunked_matches_monolithic": matches,
+    }
+
+
 def bench_hotloop(
     quick: bool = False, seed: int = 0, repeats: int = 3, workload: str = "oltp_db2"
 ) -> Dict[str, object]:
@@ -395,6 +485,7 @@ def bench_hotloop(
         result["backend"]["backends_match"] = backends_match
         result["backend"]["total_numpy_speedup"] = round(total_optimized / total_numpy, 3)
     result["trace_generation"] = _bench_trace_generation(quick, seed, repeats)
+    result["trace_scale"] = _bench_trace_scale(quick, seed)
     return result
 
 
@@ -433,6 +524,15 @@ _GATE_MIN_BASELINE_SPEEDUP = 1.5
 #: floor fails the gate even against a stale pre-solver baseline.
 _GATE_ENGINE_MIN_SPEEDUP = {"shift": 8.0}
 
+#: Ceiling on ``trace_scale.peak_flatness`` — chunked peak simulation
+#: memory at 100x the trace length over the peak at 10x, same chunk
+#: window.  A healthy chunked path sits near 1.0 (the working set is one
+#: window plus the boundary checkpoint, independent of trace length); a
+#: ratio above this ceiling means chunked streaming lost its bounded
+#: working set and scales with the full trace again.  Absolute, not
+#: baseline-relative: the bound is the contract.
+_GATE_TRACE_SCALE_FLATNESS_MAX = 1.5
+
 #: Cap applied to the committed trace-generation warm speedup before the
 #: tolerance: warm loads are sub-millisecond mmap opens, so beyond ~10x
 #: the ratio measures filesystem latency on the recording machine, not the
@@ -465,8 +565,12 @@ def check_against(
     predates it.  The
     trace-generation warm speedup is gated against the committed value
     clamped to :data:`_GATE_TRACE_GEN_SPEEDUP_CAP` (the uncapped ratio is
-    dominated by sub-millisecond load times).  A backend divergence
-    (``backends_match`` gone false) always fails.
+    dominated by sub-millisecond load times).  The ``trace_scale`` section
+    carries two absolute gates: ``chunked_matches_monolithic`` must be
+    true (chunking invariance) and ``peak_flatness`` must stay below
+    :data:`_GATE_TRACE_SCALE_FLATNESS_MAX` (the out-of-core memory
+    bound).  A backend divergence (``backends_match`` gone false) always
+    fails.
     """
     violations: List[str] = []
     if current.get("benchmark") != baseline.get("benchmark"):
@@ -547,6 +651,25 @@ def check_against(
                 current_gen.get("warm_speedup"),
                 min(float(baseline_gen["warm_speedup"]), _GATE_TRACE_GEN_SPEEDUP_CAP),
             )
+    if isinstance(baseline.get("trace_scale"), dict):
+        current_scale = current.get("trace_scale")
+        if not isinstance(current_scale, dict):
+            violations.append("trace_scale section missing from current results")
+        else:
+            if current_scale.get("chunked_matches_monolithic") is not True:
+                violations.append(
+                    "trace_scale.chunked_matches_monolithic is false: the "
+                    "chunked run's report diverged from the monolithic one"
+                )
+            ratio = current_scale.get("peak_flatness")
+            if not isinstance(ratio, (int, float)):
+                violations.append("trace_scale.peak_flatness missing from current results")
+            elif ratio > _GATE_TRACE_SCALE_FLATNESS_MAX:
+                violations.append(
+                    f"trace_scale.peak_flatness above ceiling: {ratio} vs allowed "
+                    f"{_GATE_TRACE_SCALE_FLATNESS_MAX} (chunked streaming "
+                    "lost its bounded working set)"
+                )
     return violations
 
 

@@ -7,7 +7,7 @@ import json
 import sys
 from pathlib import Path
 
-from ..cli import add_options
+from ..cli import add_options, envvar_epilog
 from . import (
     BENCHMARK_NAMES,
     DEFAULT_REGRESSION_TOLERANCE,
@@ -25,7 +25,11 @@ def build_parser() -> argparse.ArgumentParser:
         "PR-1 engine (and the numpy backend against the python one), record "
         "BENCH_*.json trajectory files, and optionally gate against a "
         "committed baseline.  With --trace-cache the experiment benchmark "
-        "additionally times a warm-cache pass.",
+        "additionally times a warm-cache pass.  The hotloop benchmark's "
+        "trace_scale section measures chunked streaming (--chunk-blocks) "
+        "peak memory against a monolithic run.",
+        epilog=envvar_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     add_options(parser, "seed", "trace-cache")
     parser.add_argument(

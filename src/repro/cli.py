@@ -28,6 +28,8 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, Optional
 
+from . import envvars
+from .errors import ConfigurationError
 from .results import (
     DEFAULT_RESULT_CACHE_DIR,
     RESULT_CACHE_ENV_VAR,
@@ -115,6 +117,18 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_chunk_blocks(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chunk-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream each core's trace through the engine in windows of N "
+        f"blocks (default: ${envvars.CHUNK_BLOCKS.name} or monolithic); "
+        "reports are byte-identical for every geometry — see ARCHITECTURE.md",
+    )
+
+
 def _add_json(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
@@ -153,6 +167,7 @@ SHARED_OPTIONS: Dict[str, Callable[[argparse.ArgumentParser], None]] = {
     "workers": _add_workers,
     "trace-cache": _add_trace_cache,
     "backend": _add_backend,
+    "chunk-blocks": _add_chunk_blocks,
     "json": _add_json,
     "result-cache": _add_result_cache,
 }
@@ -171,6 +186,7 @@ SHARED_OPTION_STRINGS = frozenset(
         "--workers",
         "--trace-cache",
         "--backend",
+        "--chunk-blocks",
         "--json",
         "--result-cache",
         "--no-result-cache",
@@ -188,6 +204,22 @@ def add_options(parser: argparse.ArgumentParser, *names: str) -> argparse.Argume
                 f"unknown shared option {name!r}; known: {', '.join(sorted(SHARED_OPTIONS))}"
             ) from None
     return parser
+
+
+def envvar_epilog() -> str:
+    """Shared ``--help`` epilog: the envvar registry plus the docs pointer.
+
+    Every subcommand renders the same declared registry (so a knob such as
+    ``REPRO_CHUNK_BLOCKS`` appears in each ``--help`` the moment it is
+    declared in :mod:`repro.envvars`) and points at ARCHITECTURE.md for the
+    subsystem map and the chunked-streaming invariants.
+    """
+    return (
+        "environment variables (see repro/envvars.py):\n"
+        + envvars.help_text()
+        + "\n\nsubsystem map and chunked-streaming (--chunk-blocks) invariants:"
+        " see ARCHITECTURE.md"
+    )
 
 
 def result_cache_from_args(
@@ -212,10 +244,47 @@ def workloads_from_args(args: argparse.Namespace) -> Optional[list]:
     return raw.split(",") if raw else None
 
 
+def resolve_chunk_blocks(explicit: Optional[int]) -> Optional[int]:
+    """Effective chunked-streaming window (None = monolithic).
+
+    Resolution order: the explicit ``--chunk-blocks`` value >
+    ``$REPRO_CHUNK_BLOCKS`` > monolithic.  Validation happens here so both
+    sources produce the same error messages naming their origin.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ConfigurationError(
+                f"--chunk-blocks must be a positive block count, got {explicit!r}"
+            )
+        return explicit
+    raw = envvars.CHUNK_BLOCKS.read()
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{envvars.CHUNK_BLOCKS.name} must be an integer block count, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"{envvars.CHUNK_BLOCKS.name} must be a positive block count, got {raw!r}"
+        )
+    return value
+
+
+def chunk_blocks_from_args(args: argparse.Namespace) -> Optional[int]:
+    """The chunked-streaming window an invocation asked for (None = monolithic)."""
+    return resolve_chunk_blocks(getattr(args, "chunk_blocks", None))
+
+
 __all__ = [
     "SHARED_OPTIONS",
     "SHARED_OPTION_STRINGS",
     "add_options",
+    "chunk_blocks_from_args",
+    "envvar_epilog",
+    "resolve_chunk_blocks",
     "result_cache_from_args",
     "workloads_from_args",
 ]

@@ -82,6 +82,14 @@ SERVE_RETAINED_JOBS = EnvVar(
     "finished repro.serve jobs kept queryable before the oldest are pruned",
 )
 
+CHUNK_BLOCKS = EnvVar(
+    "REPRO_CHUNK_BLOCKS",
+    "unset (monolithic)",
+    "stream each core's trace through the engine in windows of N blocks "
+    "when --chunk-blocks is not given (out-of-core runs; reports are "
+    "byte-identical for every chunk geometry, see ARCHITECTURE.md)",
+)
+
 #: Every declared variable, in documentation order.
 REGISTRY: Tuple[EnvVar, ...] = (
     WORKERS,
@@ -90,6 +98,7 @@ REGISTRY: Tuple[EnvVar, ...] = (
     RESULT_CACHE,
     RESULT_CACHE_MAX_BYTES,
     SERVE_RETAINED_JOBS,
+    CHUNK_BLOCKS,
 )
 
 
@@ -120,6 +129,7 @@ __all__ = [
     "RESULT_CACHE",
     "RESULT_CACHE_MAX_BYTES",
     "SERVE_RETAINED_JOBS",
+    "CHUNK_BLOCKS",
     "by_name",
     "help_text",
 ]

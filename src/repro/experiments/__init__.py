@@ -182,6 +182,7 @@ class ExperimentReport:
         return violations
 
     def to_dict(self) -> Dict[str, object]:
+        """The schema-tagged plain-dict form (what ``repro.serve`` returns)."""
         return {
             "schema_version": REPORT_SCHEMA_VERSION,
             "system_name": self.system_name,
@@ -191,6 +192,7 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_dict` (schema-version checked)."""
         check_schema_version(data, "experiment report")
         return cls(
             system_name=str(data["system_name"]),
@@ -207,15 +209,18 @@ class ExperimentReport:
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentReport":
+        """Parse a report from its :meth:`to_json` serialization."""
         import json
 
         return cls.from_dict(json.loads(text))
 
     def save(self, path: "str | Path") -> None:
+        """Write the canonical JSON form (plus trailing newline) to ``path``."""
         Path(path).write_text(self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: "str | Path") -> "ExperimentReport":
+        """Read a report previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text())
 
 
@@ -296,6 +301,7 @@ def run_experiment(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    chunk_blocks: Optional[int] = None,
     result_cache: "str | Path | object | None" = None,
 ) -> ExperimentReport:
     """Run the prefetcher comparison and return a report.
@@ -314,10 +320,12 @@ def run_experiment(
     or ``python``).  ``result_cache`` (a directory or a
     :class:`~repro.results.ResultCache`) skips simulation entirely for
     cells whose content-addressed result is already stored; the traffic
-    counts land in :attr:`ExperimentReport.result_cache_stats`.  The report
-    is bit-identical for every (workers, trace_cache, backend,
-    result_cache) combination, which is why none of the four appear in the
-    report params.
+    counts land in :attr:`ExperimentReport.result_cache_stats`.
+    ``chunk_blocks`` streams each core's trace through the engine in
+    bounded windows for out-of-core runs (see ARCHITECTURE.md).  The
+    report is bit-identical for every (workers, trace_cache, backend,
+    chunk_blocks, result_cache) combination, which is why none of the
+    five appear in the report params.
     """
     if llc_kb_per_core is not None and llc_kb_per_core < 1:
         raise ConfigurationError("llc_kb_per_core must be at least 1 KB per core")
@@ -342,6 +350,7 @@ def run_experiment(
                 history_entries=history_entries,
                 llc_bytes_per_core=llc_bytes,
                 backend=backend,
+                chunk_blocks=chunk_blocks,
             )
             cells[(name, engine)] = cell
             order.append(cell)
@@ -382,6 +391,7 @@ def run_consolidated_experiment(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    chunk_blocks: Optional[int] = None,
     result_cache: "str | Path | object | None" = None,
 ) -> ExperimentReport:
     """Run the comparison on consolidated-server mixes (Section 5.5).
@@ -420,6 +430,7 @@ def run_consolidated_experiment(
                 consolidation=mix_names,
                 llc_bytes_per_core=llc_bytes,
                 backend=backend,
+                chunk_blocks=chunk_blocks,
             )
             cells[(label, engine)] = cell
             order.append(cell)

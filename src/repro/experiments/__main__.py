@@ -6,7 +6,13 @@ import argparse
 import sys
 import time
 
-from ..cli import add_options, result_cache_from_args, workloads_from_args
+from ..cli import (
+    add_options,
+    chunk_blocks_from_args,
+    envvar_epilog,
+    result_cache_from_args,
+    workloads_from_args,
+)
 from ..errors import ReproError
 from . import format_report, run_experiment
 
@@ -15,6 +21,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Compare no-prefetch, next-line, PIF and SHIFT on the workload suite.",
+        epilog=envvar_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     add_options(
         parser,
@@ -27,6 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workers",
         "trace-cache",
         "backend",
+        "chunk-blocks",
         "json",
         "result-cache",
     )
@@ -67,6 +76,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             trace_cache=args.trace_cache,
             backend=args.backend,
+            chunk_blocks=chunk_blocks_from_args(args),
             result_cache=result_cache_from_args(args),
         )
     except ReproError as error:

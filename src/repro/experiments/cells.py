@@ -78,6 +78,13 @@ class CellSpec:
     #: so the backend is deliberately *not* part of report params or trace
     #: cache keys.
     backend: Optional[str] = None
+    #: Chunked-streaming window in blocks (None = monolithic).  Reports are
+    #: byte-identical for every chunk geometry; the window still joins the
+    #: result-cache key (it selects a different execution path, and the
+    #: chunking-invariance CI checks must not serve one geometry's result
+    #: from another's cache entry) but *not* the trace cache key (traces are
+    #: chunking-independent).
+    chunk_blocks: Optional[int] = None
 
 
 def system_for(
@@ -208,6 +215,7 @@ def run_cell(cell: CellSpec, trace_cache_dir: Optional[str] = None) -> Simulatio
         sys_config,
         cell.engine,
         backend=cell.backend,
+        chunk_blocks=cell.chunk_blocks,
         **_engine_kwargs(cell, sys_config),
     )
 

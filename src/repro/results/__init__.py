@@ -180,7 +180,11 @@ def result_cache_key(cell, code_version: str = SIM_CODE_VERSION) -> str:
     ``cell`` is a :class:`~repro.experiments.cells.CellSpec`.  The backend
     field is excluded on purpose (results are backend-invariant); everything
     else that can influence the counters is covered by the trace key, the
-    engine fields, the system digest, or the code-version tag.
+    engine fields, the chunk geometry, the system digest, or the
+    code-version tag.  ``chunk_blocks`` participates even though reports are
+    chunking-invariant: the chunking CI checks compare a chunked run against
+    a monolithic one, and serving both from one entry would turn that
+    equality check into a tautology.
     """
     from ..experiments.cells import system_for_cell, trace_key_for
 
@@ -190,6 +194,7 @@ def result_cache_key(cell, code_version: str = SIM_CODE_VERSION) -> str:
         "trace": trace_key_for(cell),
         "engine": cell.engine,
         "history_entries": cell.history_entries,
+        "chunk_blocks": cell.chunk_blocks,
         "system": system_digest(system_for_cell(cell)),
     }
     digest = hashlib.sha256(
@@ -323,6 +328,7 @@ class ResultCache:
 
     @property
     def directory(self) -> Path:
+        """The cache's root directory (created on first store)."""
         return self._directory
 
     @property
@@ -332,6 +338,7 @@ class ResultCache:
 
     @property
     def code_version(self) -> str:
+        """The simulation-code version tag entries are keyed under."""
         return self._code_version
 
     def key_for(self, cell) -> str:

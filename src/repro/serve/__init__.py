@@ -91,9 +91,9 @@ def _resolve_retained_jobs(retained_jobs: Optional[int]) -> int:
     return retained_jobs
 
 #: Params a client may set per request.  Execution policy (workers, caches,
-#: backend) belongs to the deployment, not the request — results are
-#: invariant to it, and letting clients choose it would just let one
-#: request hog the pool.
+#: backend, chunk_blocks) belongs to the deployment, not the request —
+#: results are invariant to it, and letting clients choose it would just
+#: let one request hog the pool.
 EXPERIMENT_PARAM_KEYS = frozenset(
     {
         "system",
@@ -192,6 +192,7 @@ class ExperimentService:
         trace_cache: Optional[str] = None,
         result_cache: "ResultCache | str | None" = None,
         backend: Optional[str] = None,
+        chunk_blocks: Optional[int] = None,
         job_threads: int = 1,
         retained_jobs: Optional[int] = None,
     ) -> None:
@@ -201,6 +202,7 @@ class ExperimentService:
         self._trace_cache = trace_cache
         self._result_cache = as_result_cache(result_cache)
         self._backend = backend
+        self._chunk_blocks = chunk_blocks
         self._job_threads = job_threads
         self._retained_jobs = _resolve_retained_jobs(retained_jobs)
         self._jobs: Dict[str, Job] = {}
@@ -356,6 +358,7 @@ class ExperimentService:
             trace_cache=self._trace_cache,
             result_cache=self._result_cache,
             backend=self._backend,
+            chunk_blocks=self._chunk_blocks,
         )
         params = dict(job.params)
         if job.kind == "experiment":

@@ -10,8 +10,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .. import envvars
-from ..cli import add_options, result_cache_from_args
+from ..cli import (
+    add_options,
+    chunk_blocks_from_args,
+    envvar_epilog,
+    result_cache_from_args,
+)
 from ..errors import ReproError
 from ..results import DEFAULT_RESULT_CACHE_DIR
 from . import (
@@ -31,11 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
         "background job queue, in-flight dedupe and a content-addressed "
         "result cache (endpoints: POST /submit, GET /status/<job>, "
         "GET /result/<job>, GET /cache/stats).",
-        epilog="environment variables (see repro/envvars.py):\n"
-        + envvars.help_text(),
+        epilog=envvar_epilog(),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    add_options(parser, "workers", "trace-cache", "backend", "result-cache")
+    add_options(parser, "workers", "trace-cache", "backend", "chunk-blocks", "result-cache")
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     parser.add_argument(
         "--port", type=int, default=DEFAULT_PORT, help=f"bind port (default: {DEFAULT_PORT})"
@@ -68,6 +71,7 @@ def main(argv=None) -> int:
             trace_cache=args.trace_cache,
             result_cache=result_cache_from_args(args, default=DEFAULT_RESULT_CACHE_DIR),
             backend=args.backend,
+            chunk_blocks=chunk_blocks_from_args(args),
             job_threads=args.job_threads,
             retained_jobs=args.retained_jobs,
         )

@@ -110,6 +110,22 @@ class _Unsupported(Exception):
     """Raised before any mutation when a lane needs the Python loops."""
 
 
+def _require_fresh_l1(lanes) -> None:
+    """Route warm-L1 lanes to the Python loops before anything is touched.
+
+    Every vectorized solution here (the closed-form 2-way L1 hit mask, the
+    fresh-compactor record memos, the epoch-split SHIFT solver) assumes the
+    run starts from empty caches.  The chunked engine resumes runs against
+    restored warm state: only its first chunk is fresh, so later chunks
+    must take the exact Python loops.  Raising before ``_lane_arrays_for``
+    also keeps the content-keyed memos from filling up with one entry per
+    chunk window.
+    """
+    for lane in lanes:
+        if any(lane[2]._sets):
+            raise _Unsupported("resumed warm-L1 state needs the Python loops")
+
+
 #: Cross-run memo of per-lane trace facts.  Everything in a _LaneArrays is a
 #: pure function of (trace content, L1 geometry) and is engine-independent,
 #: so the four engines of one experiment row — and repeated bench runs —
@@ -1776,6 +1792,7 @@ class NumPyBackend(Backend):
     def run(self, lanes, inflight: Dict[int, int], prefetcher, llc=None) -> None:
         ptype = type(prefetcher)
         try:
+            _require_fresh_l1(lanes)
             if ptype is NullPrefetcher or ptype is Prefetcher:
                 _run_baseline(lanes, llc)
                 return

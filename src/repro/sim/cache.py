@@ -80,6 +80,23 @@ class SetAssociativeCache:
     def resident_blocks(self) -> int:
         return sum(len(lines) for lines in self._sets)
 
+    def snapshot(self) -> List[List[int]]:
+        """Serialize the full LRU state as plain lists (JSON-safe).
+
+        The result is one tag list per set, MRU-first — exactly the layout
+        the fast paths scan — so ``restore`` reproduces hit/miss *and*
+        eviction order bit-for-bit.
+        """
+        return [list(lines) for lines in self._sets]
+
+    def restore(self, state: List[List[int]]) -> None:
+        """Restore a :meth:`snapshot` into this cache (same geometry required)."""
+        if len(state) != self._num_sets:
+            raise SimulationError(
+                f"cache snapshot has {len(state)} sets, expected {self._num_sets}"
+            )
+        self._sets = [[int(tag) for tag in lines] for lines in state]
+
 
 class PrefetchBuffer:
     """A per-core FIFO buffer holding prefetched blocks until first use.
@@ -127,6 +144,32 @@ class PrefetchBuffer:
     def consume(self, block_address: int) -> int | None:
         """Remove a block on demand hit; returns its issue timestamp, if buffered."""
         return self._blocks.pop(block_address, None)
+
+    def rebase_timestamps(self, delta: int) -> None:
+        """Shift every buffered issue timestamp by ``-delta``.
+
+        The chunked engine restarts its step counter at zero for each chunk;
+        rebasing keeps the only quantity that matters — ``step - issued_at``
+        age differences — identical to a monolithic run.  Stamps may go
+        negative, which is fine: they are only ever subtracted.
+        """
+        if delta:
+            for block in self._blocks:
+                self._blocks[block] -= delta
+
+    def snapshot(self) -> dict:
+        """Serialize FIFO order, issue timestamps and the wasted-prefetch count."""
+        return {
+            "blocks": [[block, stamp] for block, stamp in self._blocks.items()],
+            "evicted_unused": self.evicted_unused,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; insertion order is FIFO-significant."""
+        self._blocks = OrderedDict(
+            (int(block), int(stamp)) for block, stamp in state["blocks"]
+        )
+        self.evicted_unused = int(state["evicted_unused"])
 
 
 __all__ = ["SetAssociativeCache", "PrefetchBuffer"]

@@ -28,6 +28,7 @@ after the run and carry no contract.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -175,12 +176,16 @@ class SimulationEngine:
         prefetch_buffer_blocks: int = DEFAULT_PREFETCH_BUFFER_BLOCKS,
         model_llc: bool = True,
         backend: "str | Backend | None" = None,
+        chunk_blocks: Optional[int] = None,
     ) -> None:
         self._system = system if system is not None else scaled_system()
         self._prefetcher = prefetcher if prefetcher is not None else Prefetcher()
         self._buffer_blocks = prefetch_buffer_blocks
         self._model_llc = model_llc
         self._backend = get_backend(backend)
+        if chunk_blocks is not None and chunk_blocks < 1:
+            raise SimulationError("chunk_blocks must be a positive block count")
+        self._chunk_blocks = chunk_blocks
 
     @property
     def system(self) -> SystemConfig:
@@ -236,11 +241,21 @@ class SimulationEngine:
 
         llc = self._build_llc(trace_set) if self._model_llc else None
 
-        self._backend.run(lanes, inflight, prefetcher, llc)
+        max_len = max(t.num_accesses for t in cores)
+        chunk_blocks = self._chunk_blocks
+        if chunk_blocks is None or chunk_blocks >= max_len:
+            self._backend.run(lanes, inflight, prefetcher, llc)
+        else:
+            llc = self._run_chunked(
+                cores, caches, buffers, results, inflight, prefetcher, llc,
+                chunk_blocks, max_len,
+            )
 
-        for lane_core_id, _, _, lane_buffer, stats in lanes:
+        for t in cores:
+            lane_buffer = buffers[t.core_id]
+            stats = results[t.core_id]
             stats.prefetches_unused = lane_buffer.evicted_unused + len(lane_buffer)
-            stats.history_block_reads = prefetcher.history_block_reads(lane_core_id)
+            stats.history_block_reads = prefetcher.history_block_reads(t.core_id)
         llc_stats: Optional[LLCStats] = None
         if llc is not None:
             llc.add_history_reads(sum(r.history_block_reads for r in results.values()))
@@ -252,6 +267,122 @@ class SimulationEngine:
             storage_bytes_per_core=prefetcher.storage_bytes_per_core(system.num_cores),
             llc=llc_stats,
         )
+
+    def _run_chunked(
+        self,
+        cores,
+        caches: Dict[int, SetAssociativeCache],
+        buffers: Dict[int, PrefetchBuffer],
+        results: Dict[int, CoreResult],
+        inflight: Dict[int, int],
+        prefetcher: Prefetcher,
+        llc: Optional[SharedLLC],
+        chunk_blocks: int,
+        max_len: int,
+    ) -> Optional[SharedLLC]:
+        """Stream the traces through the backend in bounded windows.
+
+        Every chunk covers the same global step range ``[start, stop)`` on
+        every lane (zero-copy :meth:`~repro.workloads.trace.CoreTrace.window`
+        views), so the round-robin interleaving — and with it every shared
+        structure's access order — is exactly the monolithic one restricted
+        to that window.  Between chunks the full engine state is serialized
+        through JSON (:meth:`snapshot`/:meth:`restore` on the prefetcher,
+        L1-I caches, prefetch buffers and LLC) and restored into *fresh*
+        cache/buffer/LLC objects, proving the checkpoint is complete:
+        nothing can leak across the boundary through object identity.
+
+        Counter discipline: the fast paths *assign* per-core stats and
+        ``evicted_unused`` (clobbering), so each chunk runs against fresh
+        :class:`CoreResult` scratch and a zeroed eviction counter whose
+        deltas are accumulated here; stream-engine counters and history
+        write positions carry cumulatively through the live objects.
+        Prefetch-issue timestamps are rebased at each boundary (chunk-local
+        step counters restart at zero) so in-flight age classification is
+        unchanged.  Returns the (possibly replaced) LLC object.
+
+        Chunks always execute on the exact Python loops, whatever backend
+        the engine was built with: resuming a chunk needs the *materialized*
+        L1 state left behind by the previous one, and the vectorized
+        backend's closed-form solutions neither consume nor produce it (its
+        lane caches are pure scratch — it raises ``_Unsupported`` on warm
+        state precisely because its memos assume fresh runs).  Reports are
+        unaffected: backends are pinned bit-identical to each other.
+        """
+        chunk_backend = get_backend("python")
+        evicted_acc = {t.core_id: 0 for t in cores}
+        for start in range(0, max_len, chunk_blocks):
+            stop = min(start + chunk_blocks, max_len)
+            live = [t for t in cores if t.num_accesses > start]
+            chunk_stats = {t.core_id: CoreResult(core_id=t.core_id) for t in live}
+            for t in live:
+                buffers[t.core_id].evicted_unused = 0
+            lanes = [
+                (
+                    t.core_id,
+                    t.window(start, stop),
+                    caches[t.core_id],
+                    buffers[t.core_id],
+                    chunk_stats[t.core_id],
+                )
+                for t in live
+            ]
+            chunk_backend.run(lanes, inflight, prefetcher, llc)
+            for t in live:
+                core_id = t.core_id
+                delta = chunk_stats[core_id]
+                master = results[core_id]
+                master.demand_hits += delta.demand_hits
+                master.prefetch_hits += delta.prefetch_hits
+                master.late_hits += delta.late_hits
+                master.misses += delta.misses
+                master.prefetches_issued += delta.prefetches_issued
+                master.llc_hits += delta.llc_hits
+                master.memory_misses += delta.memory_misses
+                evicted_acc[core_id] += buffers[core_id].evicted_unused
+                buffers[core_id].evicted_unused = 0
+            if stop < max_len:
+                span = stop - start
+                for buffer in buffers.values():
+                    buffer.rebase_timestamps(span)
+                llc = self._checkpoint_roundtrip(caches, buffers, prefetcher, llc)
+        for core_id, evicted in evicted_acc.items():
+            buffers[core_id].evicted_unused = evicted
+        return llc
+
+    def _checkpoint_roundtrip(
+        self,
+        caches: Dict[int, SetAssociativeCache],
+        buffers: Dict[int, PrefetchBuffer],
+        prefetcher: Prefetcher,
+        llc: Optional[SharedLLC],
+    ) -> Optional[SharedLLC]:
+        """Serialize all engine state through JSON and restore fresh objects.
+
+        The prefetcher is restored in place (the engine cannot re-derive its
+        construction arguments); caches, buffers and the LLC come back as
+        brand-new objects, which the next chunk's lanes then reference.
+        """
+        state = json.loads(json.dumps({
+            "caches": [[cid, c.snapshot()] for cid, c in sorted(caches.items())],
+            "buffers": [[cid, b.snapshot()] for cid, b in sorted(buffers.items())],
+            "prefetcher": prefetcher.snapshot(),
+            "llc": None if llc is None else llc.snapshot(),
+        }))
+        for core_id, snap in state["caches"]:
+            fresh_cache = SetAssociativeCache(self._system.l1i)
+            fresh_cache.restore(snap)
+            caches[int(core_id)] = fresh_cache
+        for core_id, snap in state["buffers"]:
+            fresh_buffer = PrefetchBuffer(self._buffer_blocks)
+            fresh_buffer.restore(snap)
+            buffers[int(core_id)] = fresh_buffer
+        prefetcher.restore(state["prefetcher"])
+        if llc is None:
+            return None
+        fresh_llc = SharedLLC(self._system.llc, self._system.num_cores)
+        fresh_llc.restore(state["llc"])
+        return fresh_llc
 
     def _build_llc(self, trace_set: TraceSet) -> SharedLLC:
         """The run's shared LLC, with virtualized SHIFT histories pinned.
@@ -336,18 +467,27 @@ def simulate(
     prefetcher: "Prefetcher | str" = "none",
     model_llc: bool = True,
     backend: "str | Backend | None" = None,
+    chunk_blocks: Optional[int] = None,
     **factory_kwargs,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace_set`` with a named prefetcher.
 
     ``backend`` selects the execution strategy (``python`` / ``numpy``; see
     :mod:`repro.sim.backends`); results are identical on every backend.
+    ``chunk_blocks`` bounds how many accesses per core are in flight at
+    once (out-of-core streaming over windowed trace views, state carried
+    across chunk boundaries; see ARCHITECTURE.md); reports are identical
+    for every chunk geometry, including ``None`` (monolithic).
     """
     sys_config = system if system is not None else scaled_system()
     if isinstance(prefetcher, str):
         prefetcher = make_prefetcher(prefetcher, sys_config, **factory_kwargs)
     engine = SimulationEngine(
-        system=sys_config, prefetcher=prefetcher, model_llc=model_llc, backend=backend
+        system=sys_config,
+        prefetcher=prefetcher,
+        model_llc=model_llc,
+        backend=backend,
+        chunk_blocks=chunk_blocks,
     )
     return engine.run(trace_set)
 

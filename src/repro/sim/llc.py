@@ -243,6 +243,43 @@ class SharedLLC:
         """Unpinned instruction blocks currently resident."""
         return sum(len(lines) for lines in self._sets)
 
+    def snapshot(self) -> dict:
+        """Serialize LRU stacks, pinned regions, availability and counters.
+
+        Everything is plain lists/ints (JSON-safe).  ``avail`` and
+        ``pinned`` are captured directly rather than re-deriving them from
+        ``pin_region`` calls, so a restore reproduces exactly the per-set
+        way budgets of the run being resumed.
+        """
+        return {
+            "sets": [list(lines) for lines in self._sets],
+            "avail": list(self._avail),
+            "pinned": sorted(self._pinned),
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_misses": self.prefetch_misses,
+            "history_reads": self.history_reads,
+            "bank_accesses": list(self.bank_accesses),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` into this LLC (same geometry required)."""
+        if len(state["sets"]) != self._num_sets:
+            raise SimulationError(
+                f"LLC snapshot has {len(state['sets'])} sets, "
+                f"expected {self._num_sets}"
+            )
+        self._sets = [[int(tag) for tag in lines] for lines in state["sets"]]
+        self._avail = [int(ways) for ways in state["avail"]]
+        self._pinned = {int(block) for block in state["pinned"]}
+        self.demand_hits = int(state["demand_hits"])
+        self.demand_misses = int(state["demand_misses"])
+        self.prefetch_hits = int(state["prefetch_hits"])
+        self.prefetch_misses = int(state["prefetch_misses"])
+        self.history_reads = int(state["history_reads"])
+        self.bank_accesses = [int(count) for count in state["bank_accesses"]]
+
     def stats(self) -> LLCStats:
         return LLCStats(
             total_blocks=self.total_blocks,

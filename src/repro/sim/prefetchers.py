@@ -107,6 +107,22 @@ class Prefetcher:
         """
         return 0
 
+    def snapshot(self) -> dict:
+        """Serialize all mutable engine state as plain JSON-safe values.
+
+        The chunked engine (:class:`~repro.sim.engine.SimulationEngine` with
+        ``chunk_blocks``) round-trips this through ``json.dumps`` at every
+        chunk boundary and feeds it back to :meth:`restore`; the contract is
+        that a restored engine continues bit-for-bit as if never paused.
+        Stateless engines return ``{}``.
+        """
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place (inverse of ``snapshot``)."""
+        if state:
+            raise PrefetcherError(f"{self.name}: unexpected snapshot state {state!r}")
+
 
 class NullPrefetcher(Prefetcher):
     """Explicit no-prefetch baseline."""
@@ -177,6 +193,16 @@ class SpatialCompactor:
         self._mask = 0
         return record
 
+    def snapshot(self) -> dict:
+        """Serialize the open region (trigger + accumulated mask)."""
+        return {"trigger": self._trigger, "mask": self._mask}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place."""
+        trigger = state["trigger"]
+        self._trigger = None if trigger is None else int(trigger)
+        self._mask = int(state["mask"])
+
 
 def expand_record(record: Record, region_blocks: int) -> List[int]:
     """Block addresses covered by a record, trigger first."""
@@ -223,6 +249,30 @@ class HistoryBuffer:
             return None
         return self._records[pos % self._capacity]
 
+    def snapshot(self) -> dict:
+        """Serialize the ring contents and the absolute write position."""
+        return {
+            "records": [
+                None if record is None else [record[0], record[1]]
+                for record in self._records
+            ],
+            "next_pos": self._next_pos,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; records come back as tuples."""
+        records = state["records"]
+        if len(records) != self._capacity:
+            raise PrefetcherError(
+                f"history snapshot has {len(records)} slots, "
+                f"expected {self._capacity}"
+            )
+        self._records = [
+            None if record is None else (int(record[0]), int(record[1]))
+            for record in records
+        ]
+        self._next_pos = int(state["next_pos"])
+
 
 class IndexTable:
     """Bounded trigger-block → history-position map with FIFO replacement."""
@@ -250,6 +300,22 @@ class IndexTable:
 
     def get(self, trigger: int) -> Optional[int]:
         return self._entries.get(trigger)
+
+    def snapshot(self) -> dict:
+        """Serialize entries in FIFO order (replacement order is load-bearing)."""
+        return {"entries": [[trigger, pos] for trigger, pos in self._entries.items()]}
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`, reproducing the FIFO insertion order."""
+        entries = state["entries"]
+        if len(entries) > self._capacity:
+            raise PrefetcherError(
+                f"index snapshot has {len(entries)} entries, "
+                f"capacity is {self._capacity}"
+            )
+        self._entries = OrderedDict(
+            (int(trigger), int(pos)) for trigger, pos in entries
+        )
 
 
 class _Stream:
@@ -365,6 +431,46 @@ class StreamEngine:
             return []
         return self._track(stream, self._read_record(stream))
 
+    def snapshot(self) -> dict:
+        """Serialize streams, block ownership and the accounting counters.
+
+        Stream identity is positional: ``owner`` entries are
+        ``(block, stream-slot)`` pairs referring into the serialized
+        ``streams`` list, in insertion order.  The shared history/index are
+        *not* included — they belong to the prefetcher that owns them.
+        """
+        slot_of = {id(stream): slot for slot, stream in enumerate(self._streams)}
+        return {
+            "streams": [
+                {
+                    "next_pos": stream.next_pos,
+                    "outstanding": sorted(stream.outstanding),
+                    "last_llc_block": stream.last_llc_block,
+                }
+                for stream in self._streams
+            ],
+            "owner": [
+                [block, slot_of[id(stream)]] for block, stream in self._owner.items()
+            ],
+            "dispatches": self.dispatches,
+            "record_reads": self.record_reads,
+            "llc_block_reads": self.llc_block_reads,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place (history/index stay attached)."""
+        streams: List[_Stream] = []
+        for entry in state["streams"]:
+            stream = _Stream(int(entry["next_pos"]))
+            stream.outstanding = {int(block) for block in entry["outstanding"]}
+            stream.last_llc_block = int(entry["last_llc_block"])
+            streams.append(stream)
+        self._streams = streams
+        self._owner = {int(block): streams[slot] for block, slot in state["owner"]}
+        self.dispatches = int(state["dispatches"])
+        self.record_reads = int(state["record_reads"])
+        self.llc_block_reads = int(state["llc_block_reads"])
+
 
 class PIFPrefetcher(Prefetcher):
     """Proactive Instruction Fetch: private history, index and streams per core."""
@@ -405,6 +511,26 @@ class PIFPrefetcher(Prefetcher):
 
     def storage_bytes_per_core(self, num_cores: int) -> int:
         return self._config.storage_bytes_per_core
+
+    def snapshot(self) -> dict:
+        """Serialize the private compactor/history/index/streams of every core."""
+        return {
+            "compactors": [c.snapshot() for c in self._compactors],
+            "histories": [h.snapshot() for h in self._histories],
+            "indices": [i.snapshot() for i in self._indices],
+            "streams": [s.snapshot() for s in self._streams],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place."""
+        for compactor, snap in zip(self._compactors, state["compactors"]):
+            compactor.restore(snap)
+        for history, snap in zip(self._histories, state["histories"]):
+            history.restore(snap)
+        for index, snap in zip(self._indices, state["indices"]):
+            index.restore(snap)
+        for engine, snap in zip(self._streams, state["streams"]):
+            engine.restore(snap)
 
 
 class HistoryGroup(NamedTuple):
@@ -512,6 +638,23 @@ class SHIFTPrefetcher(Prefetcher):
     def storage_bytes_per_core(self, num_cores: int) -> int:
         total = self._config.storage_bytes_total
         return -(-total // max(1, num_cores))
+
+    def snapshot(self) -> dict:
+        """Serialize the shared compactor/history/index and per-core streams."""
+        return {
+            "compactor": self._compactor.snapshot(),
+            "history": self._history.snapshot(),
+            "index": self._index.snapshot(),
+            "streams": [s.snapshot() for s in self._streams],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place."""
+        self._compactor.restore(state["compactor"])
+        self._history.restore(state["history"])
+        self._index.restore(state["index"])
+        for engine, snap in zip(self._streams, state["streams"]):
+            engine.restore(snap)
 
 
 class _ShiftGroup:
@@ -648,6 +791,36 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
     def storage_bytes_per_core(self, num_cores: int) -> int:
         total = self._group_config.storage_bytes_total * len(self._groups)
         return -(-total // max(1, num_cores))
+
+    def snapshot(self) -> dict:
+        """Serialize every group's shared state and every core's streams.
+
+        Stream engines are keyed by core id as ``[core_id, state]`` pairs
+        (JSON objects cannot have integer keys).
+        """
+        return {
+            "groups": [
+                {
+                    "compactor": group.compactor.snapshot(),
+                    "history": group.history.snapshot(),
+                    "index": group.index.snapshot(),
+                }
+                for group in self._groups
+            ],
+            "streams": [
+                [core_id, engine.snapshot()]
+                for core_id, engine in sorted(self._streams.items())
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place."""
+        for group, snap in zip(self._groups, state["groups"]):
+            group.compactor.restore(snap["compactor"])
+            group.history.restore(snap["history"])
+            group.index.restore(snap["index"])
+        for core_id, snap in state["streams"]:
+            self._streams[int(core_id)].restore(snap)
 
 
 def make_prefetcher(

@@ -163,6 +163,7 @@ class SweepReport:
         return violations
 
     def to_dict(self) -> Dict[str, object]:
+        """The schema-tagged plain-dict form (what ``repro.serve`` returns)."""
         return {
             "schema_version": REPORT_SCHEMA_VERSION,
             "axis": self.axis,
@@ -172,6 +173,7 @@ class SweepReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepReport":
+        """Rebuild a sweep from :meth:`to_dict` (schema-version checked)."""
         check_schema_version(data, "sweep report")
         return cls(
             axis=str(data["axis"]),
@@ -180,17 +182,22 @@ class SweepReport:
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON: sorted keys, fixed layout — byte-stable across
+        serial and parallel execution for identical inputs."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepReport":
+        """Parse a sweep from its :meth:`to_json` serialization."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: "str | Path") -> None:
+        """Write the canonical JSON form (plus trailing newline) to ``path``."""
         Path(path).write_text(self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: "str | Path") -> "SweepReport":
+        """Read a sweep previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text())
 
 
@@ -215,6 +222,7 @@ def run_sweep(
     workers: Optional[int] = None,
     trace_cache: "str | Path | None" = None,
     backend: Optional[str] = None,
+    chunk_blocks: Optional[int] = None,
     result_cache: "str | Path | object | None" = None,
 ) -> SweepReport:
     """Run one sensitivity sweep and return its report.
@@ -223,7 +231,9 @@ def run_sweep(
     ``storage``, core counts for ``cores``, seeds for ``seeds``, and
     sequences of workload names for ``consolidation``.  ``backend``
     selects the simulation backend for every point (results are
-    backend-invariant).  ``result_cache`` is shared across all points, so
+    backend-invariant); ``chunk_blocks`` streams each point's traces
+    through the engine in bounded windows (results are chunking-invariant,
+    see ARCHITECTURE.md).  ``result_cache`` is shared across all points, so
     re-sweeping after changing one axis value recomputes only the new
     points' cells — the incremental-sweep path; aggregate traffic lands in
     :attr:`SweepReport.result_cache_stats`.
@@ -241,6 +251,7 @@ def run_sweep(
         workers=workers,
         trace_cache=trace_cache,
         backend=backend,
+        chunk_blocks=chunk_blocks,
         result_cache=cache,
     )
     points: List[SweepPoint] = []

@@ -6,7 +6,13 @@ import argparse
 import sys
 import time
 
-from ..cli import add_options, result_cache_from_args, workloads_from_args
+from ..cli import (
+    add_options,
+    chunk_blocks_from_args,
+    envvar_epilog,
+    result_cache_from_args,
+    workloads_from_args,
+)
 from ..errors import ReproError
 from . import SWEEP_AXES, format_sweep, run_sweep
 
@@ -27,6 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sensitivity sweeps over history storage, core count, "
         "consolidation mixes, LLC capacity and seeds (paper Figs. 6-9 and "
         "Sec. 5.4).",
+        epilog=envvar_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--axis", choices=SWEEP_AXES, required=True, help="sweep axis")
     parser.add_argument(
@@ -48,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workers",
         "trace-cache",
         "backend",
+        "chunk-blocks",
         "json",
         "result-cache",
     )
@@ -82,6 +91,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             trace_cache=args.trace_cache,
             backend=args.backend,
+            chunk_blocks=chunk_blocks_from_args(args),
             result_cache=result_cache_from_args(args),
         )
     except ReproError as error:

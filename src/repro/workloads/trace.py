@@ -203,6 +203,35 @@ class CoreTrace:
             self._fingerprint = column_fingerprint(self._column)
         return self._fingerprint
 
+    def window(self, start: int, stop: int) -> "CoreTrace":
+        """Zero-copy view of accesses ``[start, stop)`` as a new trace.
+
+        The returned trace shares the underlying column buffer (an ndarray
+        slice or ``array('q')`` slice of a memory-mapped cache entry stays a
+        view into the same pages for ndarrays), so the chunked engine can
+        walk arbitrarily long traces while only ever materializing one
+        window's plain-list view at a time.  The window fingerprint is
+        derived from the parent's — ``<parent>:<start>:<stop>`` — without
+        touching the window's bytes, so content-keyed backend memos stay
+        distinct per window yet stable across runs.
+        """
+        stop = min(stop, len(self._column))
+        if not 0 <= start < stop:
+            raise TraceError(
+                f"empty trace window [{start}, {stop}) for core {self.core_id}"
+            )
+        # ndarray slicing is a zero-copy view; array('q') slicing copies the
+        # window, which is still bounded by the chunk size.
+        column = self._column[start:stop]
+        return CoreTrace(
+            self.core_id,
+            column,
+            instructions_per_block=self.instructions_per_block,
+            workload=self.workload,
+            requests=self.requests,
+            fingerprint=f"{self.fingerprint}:{start}:{stop}",
+        )
+
     @property
     def num_accesses(self) -> int:
         return len(self._column)

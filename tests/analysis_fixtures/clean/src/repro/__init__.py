@@ -1,0 +1,11 @@
+"""Fixture facade twin: every re-export resolves to a documented definition."""
+
+from . import envvars
+from .api import WIDGETS, Documented, documented
+
+__all__ = [
+    "envvars",
+    "WIDGETS",
+    "Documented",
+    "documented",
+]

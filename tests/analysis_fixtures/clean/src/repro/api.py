@@ -1,0 +1,20 @@
+"""Documented helpers the clean facade re-exports."""
+
+#: How many widgets the fixture pretends to have.
+WIDGETS = 3
+
+
+class Documented:
+    """A documented class with one public and one private method."""
+
+    def method(self):
+        """Return the widget count."""
+        return WIDGETS
+
+    def _private(self):
+        return None
+
+
+def documented():
+    """Return the widget count via the documented class."""
+    return Documented().method()

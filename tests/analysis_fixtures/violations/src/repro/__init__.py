@@ -1,0 +1,10 @@
+"""Seeded facade violations: undocumented and unresolvable re-exports."""
+
+from .api import Gadget
+from .util import stamp
+
+__all__ = [
+    "Gadget",
+    "stamp",
+    "phantom",
+]

@@ -1,0 +1,8 @@
+"""Seeded class whose public method is undocumented."""
+
+
+class Gadget:
+    """Documented class with an undocumented public method."""
+
+    def poke(self):
+        return None

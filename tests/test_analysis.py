@@ -30,6 +30,9 @@ FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
 #: Every finding the violations tree must produce, exactly.
 EXPECTED_VIOLATIONS = {
     ("cache-key/uncovered-field", "src/repro/experiments/cells.py", 9),
+    ("facade-docstrings/missing", "src/repro/api.py", 7),
+    ("facade-docstrings/missing", "src/repro/util.py", 8),
+    ("facade-docstrings/unresolved", "src/repro/__init__.py", 9),
     ("cache-key/unknown-exemption", "src/repro/results/__init__.py", 6),
     ("cli-options/duplicate-option", "src/repro/jobs/__main__.py", 8),
     ("lock-discipline/unlocked-mutation", "src/repro/serve/__init__.py", 15),
@@ -66,6 +69,7 @@ class TestRegistry:
             "lock-discipline",
             "env-registry",
             "cli-options",
+            "facade-docstrings",
         }
 
     def test_unknown_checker_id_rejected(self):
@@ -216,6 +220,21 @@ class TestMutations:
         findings = run_analysis(project=Project(root), checker_ids=["lock-discipline"])
         assert any(
             f.code == "lock-discipline/unlocked-mutation" and "_started" in f.message
+            for f in findings
+        )
+
+    def test_stripping_a_facade_docstring_fails(self, tmp_path):
+        root = _copy_repo(tmp_path)
+        _edit(
+            root / "src" / "repro" / "results" / "__init__.py",
+            '        """The result key of a cell under this cache\'s code-version tag."""\n',
+            "",
+        )
+        findings = run_analysis(
+            project=Project(root), checker_ids=["facade-docstrings"]
+        )
+        assert any(
+            f.code == "facade-docstrings/missing" and "ResultCache.key_for" in f.message
             for f in findings
         )
 
