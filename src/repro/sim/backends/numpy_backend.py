@@ -54,37 +54,62 @@ contents, which removes the per-access cache and compactor work.
   under that window).  LLC events are re-merged in the exact round-robin
   order by :func:`_replay_llc`.
 
+* **Warm state is a prologue, not a special case.**  The chunked engine
+  (:meth:`~repro.sim.engine.SimulationEngine._run_chunked`) resumes every
+  chunk after the first from restored checkpoint state.  Each closed form
+  above extends to that warm start exactly: the 2-way L1 forward fill is
+  seeded by treating each set's restored ``{MRU, LRU}`` pair as virtual
+  accesses before the window (:class:`_WarmLaneArrays`); blocks already in
+  a prefetch buffer enter the next-line timeline as pseudo-producers
+  ordered before every real event; the PIF event loop reads its live
+  compactor/history/stream state; and the SHIFT epoch solver treats the
+  restored history ring and index as epoch 0's visible prefix (the
+  restored ``next_pos`` becomes the append-position base).  Final L1
+  contents are materialized back into the lane caches
+  (:func:`_write_l1_state`) so the next checkpoint sees them, and the LLC
+  replay seeds first-occurrence detection with the restored per-set
+  residents.
+
 Because every one of these computations is a deterministic pure function
-of (trace, geometry, engine configuration), the backend memoizes them
-across runs keyed by the trace's *content fingerprint* (carried by the
-columnar :class:`~repro.workloads.trace.CoreTrace` IR and persisted in the
-trace cache's sidecar): the per-lane arrays and containment tables are
-shared by all four engine families of an experiment row, and the solved
-next-line timelines and fresh-state PIF lane solutions are replayed onto
-each run's fresh objects.  Content keys mean the memos stay warm across
-*object* boundaries too — a sweep that reloads the same entry from the
+of (trace, geometry, engine configuration, starting state), the backend
+memoizes them across runs keyed by the trace's *content fingerprint*
+(carried by the columnar :class:`~repro.workloads.trace.CoreTrace` IR and
+persisted in the trace cache's sidecar), extended for warm runs with the
+*state digests* of the restored L1/buffer/prefetcher state
+(:func:`~repro.sim.cache.digest_state`): the per-lane arrays and
+containment tables are shared by all four engine families of an
+experiment row, and the solved next-line timelines and PIF/SHIFT lane
+solutions are replayed onto each run's objects whenever trace and
+digests match.  Content keys mean the memos stay warm across *object*
+boundaries too — a sweep that reloads the same entry from the
 memory-mapped cache, or regenerates an identical trace, hits directly,
 where the previous ``id(addresses)`` scheme (and the strong-reference
 tuples it needed to guard against id reuse) could not.  Per-run
 parameters — the in-flight window, buffer capacity, the LLC itself — are
 applied after the cached pure core, so results are identical whether a
-run hits or misses.
+run hits or misses.  Every memo is a bounded LRU: chunked runs mint one
+``<parent>:<start>:<stop>`` fingerprint per window, so an unbounded memo
+would grow linearly in stream length (``REPRO_NUMPY_MEMO_MAX`` overrides
+every cap at once, see :mod:`repro.envvars`).
 
 Fallbacks (always exact, never approximate): custom prefetchers serialize
 on their ``on_access`` hook, so they run through the Python backend, as
 does any lane with an L1 associativity other than 1 or 2, negative block
-addresses, a pre-populated prefetch buffer, a next-line run whose buffer
-would overflow, or a SHIFT run resumed from non-fresh shared state (the
-epoch solver's append schedule assumes an empty history).
+addresses, a next-line run whose buffer would overflow, a spatial region
+wider than the int64 masks, or a SHIFT group whose index and history
+capacities differ.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ... import envvars
+from ...errors import ConfigurationError
 from ...workloads.trace import column_fingerprint
 from .._fastpath import resolve_stream_roles
 from ..prefetchers import (
@@ -110,42 +135,74 @@ class _Unsupported(Exception):
     """Raised before any mutation when a lane needs the Python loops."""
 
 
-def _require_fresh_l1(lanes) -> None:
-    """Route warm-L1 lanes to the Python loops before anything is touched.
-
-    Every vectorized solution here (the closed-form 2-way L1 hit mask, the
-    fresh-compactor record memos, the epoch-split SHIFT solver) assumes the
-    run starts from empty caches.  The chunked engine resumes runs against
-    restored warm state: only its first chunk is fresh, so later chunks
-    must take the exact Python loops.  Raising before ``_lane_arrays_for``
-    also keeps the content-keyed memos from filling up with one entry per
-    chunk window.
-    """
-    for lane in lanes:
-        if any(lane[2]._sets):
-            raise _Unsupported("resumed warm-L1 state needs the Python loops")
-
-
 #: Cross-run memo of per-lane trace facts.  Everything in a _LaneArrays is a
 #: pure function of (trace content, L1 geometry) and is engine-independent,
 #: so the four engines of one experiment row — and repeated bench runs —
-#: share one precompute.  Keys are (content fingerprint, sets, ways):
-#: content addressing needs no identity validation and survives reloads of
-#: the same trace from the memory-mapped cache.
-_ARRAY_CACHE: "Dict[Tuple[str, int, int], _LaneArrays]" = {}
-_ARRAY_CACHE_MAX = 64
+#: share one precompute.  Keys are (content fingerprint, sets, ways), plus
+#: the L1 state digest for warm overlays: content addressing needs no
+#: identity validation and survives reloads of the same trace from the
+#: memory-mapped cache.
+#: Cap sizing: a chunked 100k-block 4-core run at a 500-block window mints
+#: ~1.6k entries (one base + one warm overlay per lane per chunk), and the
+#: bench's chunk-size curve holds three window geometries at once — the
+#: caps leave the hotloop's monolithic entries resident underneath that.
+_ARRAY_CACHE: "OrderedDict[tuple, _LaneArrays]" = OrderedDict()
+_ARRAY_CACHE_MAX = 4096
 
 #: Same idea for the spatial compactor's record stream (trace-pure for a
 #: fresh compactor), keyed by (content fingerprint, region size) and shared
 #: by PIF's per-core compactors and SHIFT's per-group trainer compactors.
-_RECORD_CACHE: "Dict[Tuple[str, int], tuple]" = {}
-_RECORD_CACHE_MAX = 32
+_RECORD_CACHE: "OrderedDict[Tuple[str, int], tuple]" = OrderedDict()
+_RECORD_CACHE_MAX = 512
+
+#: Full LLC replay outcomes, keyed by (caller's solution key, LLC geometry,
+#: LLC contents).  The solution key pins the event streams exactly, so the
+#: memo can skip the merged LRU pass and apply stored counter deltas plus
+#: the final stacks of the touched sets.
+_LLC_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_LLC_CACHE_MAX = 512
+
+#: One lock guards every memo in this module.  The caches are read and
+#: written from the chunked engine's prewarm helper thread concurrently
+#: with the replay thread, and worker processes each hold their own copy,
+#: so a single coarse lock costs nothing measurable and keeps every
+#: get/put atomic.
+_MEMO_LOCK = threading.Lock()
 
 
-def _cache_put(cache: Dict, limit: int, key, value) -> None:
-    if len(cache) >= limit:
-        cache.pop(next(iter(cache)))
-    cache[key] = value
+def _memo_limit(default: int) -> int:
+    """The effective LRU entry cap: ``REPRO_NUMPY_MEMO_MAX`` or the default."""
+    raw = envvars.NUMPY_MEMO_MAX.read()
+    if raw is None:
+        return default
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_NUMPY_MEMO_MAX must be a positive integer, got {raw!r}"
+        ) from None
+    if limit < 1:
+        raise ConfigurationError(
+            f"REPRO_NUMPY_MEMO_MAX must be a positive integer, got {raw!r}"
+        )
+    return limit
+
+
+def _cache_get(cache: "OrderedDict", key):
+    with _MEMO_LOCK:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+
+def _cache_put(cache: "OrderedDict", limit: int, key, value) -> None:
+    limit = _memo_limit(limit)
+    with _MEMO_LOCK:
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > limit:
+            cache.popitem(last=False)
 
 
 class _LaneArrays:
@@ -156,7 +213,22 @@ class _LaneArrays:
     _LaneArrays built from equal-content traces are interchangeable.
     """
 
-    __slots__ = ("a", "n", "setidx", "l1_hit", "other_after", "order", "num_sets", "key")
+    __slots__ = (
+        "a",
+        "n",
+        "setidx",
+        "l1_hit",
+        "other_after",
+        "order",
+        "num_sets",
+        "key",
+        "prev",
+        "prevaddr",
+    )
+
+    #: Overridden by :class:`_WarmLaneArrays`; lets every consumer branch on
+    #: whether the hit mask was derived against restored initial contents.
+    warm = False
 
     def __init__(
         self,
@@ -206,6 +278,8 @@ class _LaneArrays:
         self.other_after = other_after
         self.order = order
         self.num_sets = num_sets
+        self.prev = prev
+        self.prevaddr = prevaddr
 
     def last_in_set_at(self, targets: np.ndarray, times: np.ndarray) -> np.ndarray:
         """Index of the last access at-or-before ``times`` touching each
@@ -223,7 +297,7 @@ class _LaneArrays:
         qends = np.searchsorted(qsets, set_range, side="right")
         for s in range(S):
             q0, q1 = qstarts[s], qends[s]
-            if q0 == q1:
+            if q0 == q1 or starts[s] == ends[s]:
                 continue
             occ = self.order[starts[s] : ends[s]]
             sel = qorder[q0:q1]
@@ -236,6 +310,125 @@ class _LaneArrays:
         j = self.last_in_set_at(targets, times)
         jc = np.maximum(j, 0)
         return (j >= 0) & ((self.a[jc] == targets) | (self.other_after[jc] == targets))
+
+
+class _WarmLaneArrays(_LaneArrays):
+    """A restored-L1 overlay on a memoized fresh :class:`_LaneArrays`.
+
+    The closed form's recurrence is uniform — MRU' = x, LRU' = (LRU if x was
+    already MRU else old MRU) — so a set's restored ``{MRU, LRU}`` contents
+    act exactly like one or two virtual accesses issued before the window.
+    Concretely, with per-set initial MRU ``im`` and LRU ``io``:
+
+    * an access with no predecessor in its set compares against ``im``
+      (effective previous address) and ``io`` (prior co-resident);
+    * the grouped forward fill is seeded so a group's first element
+      contributes ``io`` when it re-touches ``im`` (contents unchanged) and
+      ``im`` otherwise (``im`` demoted to LRU, whether the access hit
+      ``io`` or missed).
+
+    Everything trace-pure (``a``, ``setidx``, ``order``, ``prev``,
+    ``prevaddr``) is shared with the fresh base object; only the hit mask
+    and co-resident column are rebuilt, and empty initial contents
+    reproduce the fresh arrays exactly.
+    """
+
+    __slots__ = ("init_m", "init_o")
+
+    warm = True
+
+    def __init__(self, base: _LaneArrays, sets: List[List[int]], state_key: tuple) -> None:
+        num_sets = base.num_sets
+        self.key = base.key + (state_key,)
+        self.a = a = base.a
+        self.n = n = base.n
+        self.setidx = base.setidx
+        self.order = order = base.order
+        self.num_sets = num_sets
+        self.prev = base.prev
+        self.prevaddr = base.prevaddr
+        init_m = np.full(num_sets, -1, dtype=np.int64)
+        init_o = np.full(num_sets, -1, dtype=np.int64)
+        for set_index, lines in enumerate(sets):
+            if lines:
+                init_m[set_index] = lines[0]
+                if len(lines) > 1:
+                    init_o[set_index] = lines[1]
+        self.init_m = init_m
+        self.init_o = init_o
+        if n == 0:
+            self.l1_hit = base.l1_hit
+            self.other_after = base.other_after
+            return
+        first = base.prev < 0
+        pa_eff = np.where(first, init_m[base.setidx], base.prevaddr)
+        if base.key[2] == 1:
+            self.other_after = base.other_after
+            self.l1_hit = a == pa_eff
+            return
+        a_s = a[order]
+        first_s = first[order]
+        pa_s = pa_eff[order]
+        io_s = init_o[base.setidx][order]
+        seed = np.where(first_s & (a_s == pa_s), io_s, pa_s)
+        cond = first_s | (pa_s != a_s)
+        filled = np.maximum.accumulate(np.where(cond, np.arange(n), -1))
+        oa_s = seed[filled]
+        other_after = np.empty(n, dtype=np.int64)
+        other_after[order] = oa_s
+        prior_other_s = np.empty(n, dtype=np.int64)
+        prior_other_s[0] = -1
+        prior_other_s[1:] = oa_s[:-1]
+        prior_other_s = np.where(first_s, io_s, prior_other_s)
+        hit_s = (a_s == pa_s) | (a_s == prior_other_s)
+        l1_hit = np.empty(n, dtype=bool)
+        l1_hit[order] = hit_s
+        self.other_after = other_after
+        self.l1_hit = l1_hit
+
+    def contains_at(self, targets: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Warm containment: untouched sets answer from the initial contents."""
+        j = self.last_in_set_at(targets, times)
+        jc = np.maximum(j, 0)
+        hit = (j >= 0) & ((self.a[jc] == targets) | (self.other_after[jc] == targets))
+        tset = targets % self.num_sets
+        initial = (j < 0) & (
+            (self.init_m[tset] == targets) | (self.init_o[tset] == targets)
+        )
+        return hit | initial
+
+
+def _initial_content(arr: _LaneArrays) -> Tuple[List[int], List[int]]:
+    """Per-set initial ``(MRU, LRU)`` columns for the per-event loops."""
+    if arr.warm:
+        return arr.init_m.tolist(), arr.init_o.tolist()
+    return [-1] * arr.num_sets, [-1] * arr.num_sets
+
+
+def _write_l1_state(cache, arr: _LaneArrays) -> None:
+    """Materialize the lane's final L1 contents into the cache object.
+
+    Monolithic runs never read the L1 afterwards, but the chunked engine
+    checkpoints it between windows, so every successful vectorized run
+    writes back the exact per-set ``[MRU]`` / ``[MRU, LRU]`` stacks.  The
+    closed form already knows them: for each touched set they are the last
+    access and its co-resident; untouched sets keep their (possibly warm)
+    contents.  Derivable from the arrays alone, so cached-solution replays
+    reuse it too.
+    """
+    if arr.n == 0:
+        return
+    ss = arr.setidx[arr.order]
+    last = np.empty(arr.n, dtype=bool)
+    last[:-1] = ss[1:] != ss[:-1]
+    last[-1] = True
+    idx = arr.order[last]
+    touched = ss[last].tolist()
+    mru = arr.a[idx].tolist()
+    lru = arr.other_after[idx].tolist()
+    sets = cache._sets
+    for set_index, mru_tag, lru_tag in zip(touched, mru, lru):
+        sets[set_index] = [mru_tag] if lru_tag < 0 else [mru_tag, lru_tag]
 
 
 def _trace_columns(addresses) -> Tuple[np.ndarray, str]:
@@ -253,15 +446,28 @@ def _trace_columns(addresses) -> Tuple[np.ndarray, str]:
 
 
 def _lane_arrays_for(lanes) -> List[_LaneArrays]:
-    """Precompute every lane (pure, memoized) before anything is mutated."""
+    """Precompute every lane (pure, memoized) before anything is mutated.
+
+    A lane whose L1 carries restored contents gets a :class:`_WarmLaneArrays`
+    overlay, memoized under the base key extended with the L1 state digest
+    (the overlay shares the trace-pure columns with its base entry).
+    """
     out = []
     for _core_id, addresses, cache, _buffer, _stats in lanes:
         a, fingerprint = _trace_columns(addresses)
         key = (fingerprint, cache._num_sets, cache._associativity)
-        arrays = _ARRAY_CACHE.get(key)
+        arrays = _cache_get(_ARRAY_CACHE, key)
         if arrays is None:
             arrays = _LaneArrays(a, cache._num_sets, cache._associativity, fingerprint)
             _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, key, arrays)
+        if any(cache._sets):
+            warm_key = key + (cache.state_key(),)
+
+            warm = _cache_get(_ARRAY_CACHE, warm_key)
+            if warm is None:
+                warm = _WarmLaneArrays(arrays, cache._sets, warm_key[-1])
+                _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, warm_key, warm)
+            arrays = warm
         out.append(arrays)
     return out
 
@@ -270,7 +476,7 @@ def _lane_arrays_for(lanes) -> List[_LaneArrays]:
 # Shared LLC replay
 
 
-def _replay_llc(llc, per_lane) -> None:
+def _replay_llc(llc, per_lane, events_key=None) -> None:
     """Replay per-lane LLC event arrays; equals ``_fastpath._replay_llc``.
 
     ``per_lane`` holds ``(stats, steps, addrs, kinds, seq)`` per lane in
@@ -281,30 +487,110 @@ def _replay_llc(llc, per_lane) -> None:
     into the merged round-robin order (step-major, lane, seq) by a single
     unique-key argsort; hit/miss outcomes come from a flat python LRU pass
     and everything else is an order-free aggregation.
+
+    ``events_key`` (when given) is the caller's solution memo key: it pins
+    the event streams exactly, so the whole replay outcome — counter
+    deltas, per-lane hit classifications and the final LRU stacks of every
+    touched set — is memoized against ``(events_key, LLC state)`` and
+    applied in O(touched sets) on repeat runs.
     """
     if llc is None or not per_lane:
         return
     counts = [entry[1].size for entry in per_lane]
     if sum(counts) == 0:
         return
-    steps = np.concatenate([entry[1] for entry in per_lane])
-    addrs = np.concatenate([entry[2] for entry in per_lane])
-    kinds = np.concatenate(
-        [
-            entry[3] if entry[3] is not None else np.ones(count, dtype=bool)
-            for entry, count in zip(per_lane, counts)
-        ]
+    stats_list = [entry[0] for entry in per_lane]
+
+    def run_flat() -> None:
+        steps = np.concatenate([entry[1] for entry in per_lane])
+        addrs = np.concatenate([entry[2] for entry in per_lane])
+        kinds = np.concatenate(
+            [
+                entry[3] if entry[3] is not None else np.ones(count, dtype=bool)
+                for entry, count in zip(per_lane, counts)
+            ]
+        )
+        seqs = np.concatenate(
+            [
+                entry[4]
+                if entry[4] is not None
+                else np.zeros(count, dtype=np.int64)
+                for entry, count in zip(per_lane, counts)
+            ]
+        )
+        lane_ids = np.repeat(np.arange(len(per_lane)), counts)
+        _replay_llc_flat(llc, stats_list, steps, addrs, kinds, lane_ids, seqs)
+
+    _replay_llc_memo(llc, stats_list, events_key, run_flat)
+
+
+def _replay_llc_memo(llc, stats_list, events_key, run_flat) -> None:
+    """Run (or skip) an LLC replay through the :data:`_LLC_CACHE` memo.
+
+    ``run_flat`` performs the actual replay (mutating ``llc`` and the
+    per-lane stats).  With ``events_key`` None this just calls it; otherwise
+    the outcome is keyed on ``(events_key, LLC geometry, LLC contents)``:
+    on a hit the stored counter deltas and final stacks of the touched sets
+    are applied in O(touched sets), on a miss the replay runs once and its
+    effect is diffed against the captured pre-state and stored.
+    """
+    if events_key is None:
+        run_flat()
+        return
+    key = (
+        events_key,
+        llc._num_sets,
+        llc._banks,
+        tuple(llc._avail),
+        tuple(sorted(llc._pinned)),
+        tuple(tuple(lines) for lines in llc._sets),
     )
-    seqs = np.concatenate(
-        [
-            entry[4] if entry[4] is not None else np.zeros(count, dtype=np.int64)
-            for entry, count in zip(per_lane, counts)
-        ]
+    cached = _cache_get(_LLC_CACHE, key)
+    if cached is not None:
+        counter_delta, bank_delta, lane_delta, changed = cached
+        llc.demand_hits += counter_delta[0]
+        llc.demand_misses += counter_delta[1]
+        llc.prefetch_hits += counter_delta[2]
+        llc.prefetch_misses += counter_delta[3]
+        banks = llc.bank_accesses
+        for bank, delta in enumerate(bank_delta):
+            banks[bank] += delta
+        for stats, (hits, misses) in zip(stats_list, lane_delta):
+            stats.llc_hits += hits
+            stats.memory_misses += misses
+        sets = llc._sets
+        for set_index, stack in changed:
+            sets[set_index] = list(stack)
+        return
+    pre_counters = (
+        llc.demand_hits,
+        llc.demand_misses,
+        llc.prefetch_hits,
+        llc.prefetch_misses,
     )
-    lane_ids = np.repeat(np.arange(len(per_lane)), counts)
-    _replay_llc_flat(
-        llc, [entry[0] for entry in per_lane], steps, addrs, kinds, lane_ids, seqs
+    pre_banks = list(llc.bank_accesses)
+    pre_lane = [(stats.llc_hits, stats.memory_misses) for stats in stats_list]
+    pre_sets = [list(lines) for lines in llc._sets]
+    run_flat()
+    value = (
+        (
+            llc.demand_hits - pre_counters[0],
+            llc.demand_misses - pre_counters[1],
+            llc.prefetch_hits - pre_counters[2],
+            llc.prefetch_misses - pre_counters[3],
+        ),
+        tuple(now - was for now, was in zip(llc.bank_accesses, pre_banks)),
+        tuple(
+            (stats.llc_hits - hits, stats.memory_misses - misses)
+            for stats, (hits, misses) in zip(stats_list, pre_lane)
+        ),
+        tuple(
+            (set_index, tuple(lines))
+            for set_index, (lines, old) in enumerate(zip(llc._sets, pre_sets))
+            if lines != old
+        ),
     )
+    _cache_put(_LLC_CACHE, _LLC_CACHE_MAX, key, value)
 
 
 def _replay_llc_flat(llc, stats_list, steps, addrs, kinds, lane_ids, seqs) -> None:
@@ -352,7 +638,20 @@ def _replay_llc_flat(llc, stats_list, steps, addrs, kinds, lane_ids, seqs) -> No
     # *contended* sets (more distinct addresses than ways) need the exact
     # LRU loop — per-set independence makes the split sound.
     capacity = np.asarray(llc._avail, dtype=np.int64)
-    pair_key = sidx * np.int64(int(addrs.max()) + 1) + addrs
+    # Restored warm residents (chunked resumes) shift both classifications:
+    # a resident pair's first event hits rather than misses, and a set is
+    # contended when |residents ∪ touched| exceeds its ways (an untouched
+    # resident still occupies a way under every new fill).
+    res_set_list: List[int] = []
+    res_addr_list: List[int] = []
+    for set_index, lines in enumerate(llc._sets):
+        for tag in lines:
+            res_set_list.append(set_index)
+            res_addr_list.append(tag)
+    addr_base = int(addrs.max()) + 1
+    if res_addr_list:
+        addr_base = max(addr_base, max(res_addr_list) + 1)
+    pair_key = sidx * np.int64(addr_base) + addrs
     order2 = np.argsort(pair_key)
     sorted_pairs = pair_key[order2]
     run_start = np.empty(total, dtype=bool)
@@ -361,10 +660,19 @@ def _replay_llc_flat(llc, stats_list, steps, addrs, kinds, lane_ids, seqs) -> No
     runs = np.flatnonzero(run_start)
     segid = np.cumsum(run_start) - 1
     pair_set = sidx[order2][runs]
-    contended_sets = np.bincount(pair_set, minlength=num_sets) > capacity
     mk2 = merged_key[order2]
     first_mk = np.minimum.reduceat(mk2, runs)
-    hit2 = mk2 != first_mk[segid]
+    if res_addr_list:
+        res_set = np.asarray(res_set_list, dtype=np.int64)
+        res_key = res_set * np.int64(addr_base) + np.asarray(res_addr_list, np.int64)
+        pair_resident = np.isin(sorted_pairs[runs], res_key)
+        new_counts = np.bincount(pair_set[~pair_resident], minlength=num_sets)
+        res_counts = np.bincount(res_set, minlength=num_sets)
+        contended_sets = (new_counts + res_counts) > capacity
+        hit2 = (mk2 != first_mk[segid]) | pair_resident[segid]
+    else:
+        contended_sets = np.bincount(pair_set, minlength=num_sets) > capacity
+        hit2 = mk2 != first_mk[segid]
     pair_contended = contended_sets[pair_set]
     if not pair_contended.any():
         _aggregate_llc(llc, stats_list, hit2, kinds[order2], lane_ids[order2])
@@ -405,7 +713,13 @@ def _aggregate_llc(llc, stats_list, hit, kind, lane) -> None:
 
 def _write_llc_state(llc, mk2, runs, pair_set, pair_addr, pair_mask) -> None:
     """Materialize uncontended sets' final LRU stacks (MRU-first = last
-    occurrence in merged order, most recent first)."""
+    occurrence in merged order, most recent first).
+
+    Warm residents a set carried into the window that were never touched
+    keep their relative order *below* every touched address: each touched
+    address is moved/filled at MRU at least once, which pushes every
+    untouched line down without reordering them.
+    """
     last_mk = np.maximum.reduceat(mk2, runs)
     if pair_mask is not None:
         pair_set = pair_set[pair_mask]
@@ -422,7 +736,12 @@ def _write_llc_state(llc, mk2, runs, pair_set, pair_addr, pair_mask) -> None:
         end = start + 1
         while end < num_pairs and set_list[end] == set_index:
             end += 1
-        sets[set_index] = addr_list[start:end]
+        stack = addr_list[start:end]
+        old = sets[set_index]
+        if old:
+            touched = set(stack)
+            stack += [tag for tag in old if tag not in touched]
+        sets[set_index] = stack
         start = end
 
 
@@ -473,14 +792,16 @@ def _llc_set_loop(llc, addr_list: List[int], sidx_list: List[int]) -> np.ndarray
 def _run_baseline(lanes, llc) -> None:
     arrays = _lane_arrays_for(lanes)
     per_lane = []
-    for (_core_id, _addresses, _cache, _buffer, stats), arr in zip(lanes, arrays):
+    for (_core_id, _addresses, cache, _buffer, stats), arr in zip(lanes, arrays):
         hits = int(np.count_nonzero(arr.l1_hit))
         stats.demand_hits = hits
         stats.misses = arr.n - hits
+        _write_l1_state(cache, arr)
         if llc is not None:
             miss_steps = np.flatnonzero(~arr.l1_hit)
             per_lane.append((stats, miss_steps, arr.a[miss_steps], None, None))
-    _replay_llc(llc, per_lane)
+    events_key = ("baseline",) + tuple(arr.key for arr in arrays)
+    _replay_llc(llc, per_lane, events_key)
 
 
 # ---------------------------------------------------------------------------
@@ -511,23 +832,26 @@ def _sort_rank(keys) -> np.ndarray:
 _DENSE_TABLE_CELLS = 16_000_000
 
 #: Cross-run memo of dense containment tables (trace-pure, ~10 MB each).
-_TABLE_CACHE: Dict[tuple, tuple] = {}
+_TABLE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 _TABLE_CACHE_MAX = 4
 
 
 def _dense_table(arrays):
     """The cached (lane, time, set) last-access table plus padded per-lane
-    address/co-resident matrices, or None when over the cell budget."""
+    address/co-resident matrices, or None when over the cell budget (or for
+    warm lanes, whose untouched-set queries need the initial contents that
+    only the per-lane ``contains_at`` overlay consults)."""
     num_lanes = len(arrays)
     max_n = max(arr.n for arr in arrays)
     num_sets = arrays[0].num_sets
     if (
-        any(arr.num_sets != num_sets for arr in arrays)
+        any(arr.warm for arr in arrays)
+        or any(arr.num_sets != num_sets for arr in arrays)
         or num_lanes * max_n * num_sets > _DENSE_TABLE_CELLS
     ):
         return None
     key = tuple(arr.key for arr in arrays)
-    value = _TABLE_CACHE.get(key)
+    value = _cache_get(_TABLE_CACHE, key)
     if value is not None:
         return value
     table = np.full((num_lanes, max_n, num_sets), -1, dtype=np.int32)
@@ -568,9 +892,10 @@ def _contains_batch(arrays, lane_of, targets, times) -> np.ndarray:
     return out
 
 
-#: Cross-run memo of solved next-line timelines (pure in trace + degree).
-_NEXT_LINE_CACHE: Dict[tuple, tuple] = {}
-_NEXT_LINE_CACHE_MAX = 4
+#: Cross-run memo of solved next-line timelines (pure in trace + degree +
+#: restored per-lane buffer state).
+_NEXT_LINE_CACHE: "OrderedDict[tuple, _NextLineSolution]" = OrderedDict()
+_NEXT_LINE_CACHE_MAX = 256
 
 
 class _NextLineSolution:
@@ -600,20 +925,37 @@ class _NextLineSolution:
     )
 
 
-def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
+def _solve_next_line(arrays, degree: int, warm_items) -> _NextLineSolution:
+    """Solve the per-(lane, block) timelines; ``warm_items`` carries each
+    lane's restored buffer as ``[(block, issue_stamp), ...]`` FIFO lists.
+
+    A warm block behaves exactly like a producer ordered before every real
+    event of the window (it was inserted by a previous chunk): it is
+    unconditionally "eligible", it serves its block's first consumer with
+    its restored (possibly negative, already rebased) stamp, and if never
+    consumed it survives as leftover ahead of this window's inserts.  Warm
+    entries never count as issued prefetches and never touch the LLC —
+    both happened when they were originally issued.
+    """
     num_lanes = len(arrays)
     solution = _NextLineSolution()
     nonhits = [np.flatnonzero(~arr.l1_hit) for arr in arrays]
     cons_counts = [nh.size for nh in nonhits]
     total_cons = sum(cons_counts)
     solution.cons_counts = cons_counts
+    warm_counts = [len(items) for items in warm_items]
+    total_warm = sum(warm_counts)
     if total_cons == 0:
         empty = np.empty(0, dtype=np.int64)
         solution.served = np.empty(0, dtype=bool)
         solution.stamp = solution.cons_step = solution.cons_lane = empty
         solution.lane_miss = solution.lane_issued = np.zeros(num_lanes, dtype=np.int64)
         solution.peaks = solution.peak_lanes = empty
-        solution.leftover = []
+        solution.leftover = [
+            (lane_index, block, stamp)
+            for lane_index, items in enumerate(warm_items)
+            for block, stamp in items
+        ]
         solution.ev_step = solution.ev_addr = solution.ev_lane = solution.ev_seq = empty
         solution.ev_kind = np.empty(0, dtype=bool)
         return solution
@@ -640,11 +982,30 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
     # served exactly by the first producer in its epoch (= # consumers
     # before it in the block's timeline).
     num_prod = prod_y.size
-    ent_lane = np.concatenate([cons_lane, prod_lane])
-    ent_y = np.concatenate([cons_x, prod_y])
-    ent_t = np.concatenate([cons_t, prod_t])
-    ent_delta = np.concatenate([np.zeros(total_cons, dtype=np.int64), prod_delta])
-    order = _sort_rank((ent_lane, ent_y, ent_t, ent_delta))
+    # Warm buffer entries enter the sort with time key 0 (real events shift
+    # by one) so each orders before everything in its block's timeline; the
+    # true stamps ride along separately since they may be negative.
+    warm_lane = np.repeat(np.arange(num_lanes), warm_counts)
+    warm_y = np.asarray(
+        [block for items in warm_items for block, _stamp in items], dtype=np.int64
+    )
+    warm_stamp = np.asarray(
+        [stamp for items in warm_items for _block, stamp in items], dtype=np.int64
+    )
+    ent_lane = np.concatenate([cons_lane, prod_lane, warm_lane])
+    ent_y = np.concatenate([cons_x, prod_y, warm_y])
+    ent_tkey = np.concatenate(
+        [cons_t + 1, prod_t + 1, np.zeros(total_warm, dtype=np.int64)]
+    )
+    ent_stamp = np.concatenate([cons_t, prod_t, warm_stamp])
+    ent_delta = np.concatenate(
+        [
+            np.zeros(total_cons, dtype=np.int64),
+            prod_delta,
+            np.zeros(total_warm, dtype=np.int64),
+        ]
+    )
+    order = _sort_rank((ent_lane, ent_y, ent_tkey, ent_delta))
     g_prod = order >= total_cons
     group_key = ent_lane[order] * np.int64(int(ent_y.max()) + 1) + ent_y[order]
     size = order.size
@@ -657,7 +1018,7 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
     before = np.cumsum(is_cons) - is_cons  # consumers strictly before, global
     base = before[np.flatnonzero(group_start)]
     epoch = before - base[segid]
-    epoch_span = max(int(arr.n) for arr in arrays) + 1
+    epoch_span = max(int(arr.n) for arr in arrays) + 2
     if num_segs * epoch_span >= 2**62:
         raise _Unsupported("trace too large for composite epoch keys")
     key = segid * np.int64(epoch_span) + epoch
@@ -674,7 +1035,7 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
         idx = np.searchsorted(succ_key, key[cons_pos])
         idx_c = np.minimum(idx, succ_key.size - 1)
         served = (idx < succ_key.size) & (succ_key[idx_c] == key[cons_pos])
-        stamp = ent_t[order[succ_pos]][idx_c]
+        stamp = ent_stamp[order[succ_pos]][idx_c]
     else:
         served = np.zeros(cons_pos.size, dtype=bool)
         stamp = np.zeros(cons_pos.size, dtype=np.int64)
@@ -688,14 +1049,20 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
     # reconstruction needs no further sort.
     served_orig = np.zeros(total_cons, dtype=bool)
     served_orig[orig_cons] = served
-    succ_orig = np.zeros(num_prod, dtype=bool)
+    # The successful-producer domain spans real producers then warm entries
+    # (a warm entry is always its block's epoch-0 first producer); buffer
+    # inserts and LLC traffic only come from the real ones.
+    succ_orig = np.zeros(num_prod + total_warm, dtype=bool)
     succ_orig[order[succ_pos] - total_cons] = True
     pop_idx = np.flatnonzero(served_orig)
-    ins_idx = np.flatnonzero(succ_orig)
+    ins_idx = np.flatnonzero(succ_orig[:num_prod])
     if ins_idx.size:
         # Occupancy peaks only after an insert.  For each insert, the
-        # buffer level is (# earlier-or-equal inserts) - (# earlier pops)
-        # within its lane; pops at the same access precede the insert.
+        # buffer level is (# warm blocks restored at chunk start) +
+        # (# earlier-or-equal inserts) - (# earlier pops) within its lane;
+        # pops at the same access precede the insert.  Warm blocks never
+        # raise the peak on their own (the restored buffer fit by
+        # construction), so they only contribute the initial level.
         t_span = np.int64(epoch_span)
         prio_span = np.int64(degree + 2)
         ins_lane = prod_lane[ins_idx]
@@ -707,9 +1074,12 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
         np.cumsum(np.bincount(ins_lane, minlength=num_lanes), out=ins_base[1:])
         pop_base = np.zeros(num_lanes + 1, dtype=np.int64)
         np.cumsum(np.bincount(pop_lane, minlength=num_lanes), out=pop_base[1:])
+        warm_base = np.asarray(warm_counts, dtype=np.int64)
         level = (
-            np.arange(ins_key.size) - ins_base[ins_lane] + 1
-        ) - (pops_before - pop_base[ins_lane])
+            warm_base[ins_lane]
+            + (np.arange(ins_key.size) - ins_base[ins_lane] + 1)
+            - (pops_before - pop_base[ins_lane])
+        )
         lane_starts = np.flatnonzero(
             np.concatenate([[True], ins_lane[1:] != ins_lane[:-1]])
         )
@@ -721,16 +1091,23 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
     solution.lane_miss = np.bincount(solution.cons_lane[miss], minlength=num_lanes)
     solution.lane_issued = np.bincount(prod_lane[ins_idx], minlength=num_lanes)
     # Blocks still buffered at the end: successful producers in the epoch
-    # after their block's last consumer; original order is insertion order.
+    # after their block's last consumer.  Surviving warm entries keep their
+    # FIFO seniority ahead of this window's inserts (insertion order).
     cons_per_seg = np.bincount(segid[cons_pos], minlength=num_segs)
     leftover = epoch[succ_pos] == cons_per_seg[segid[succ_pos]]
     if leftover.any():
-        left_idx = np.sort(order[succ_pos[leftover]] - total_cons)
-        solution.leftover = list(
+        left_orig = order[succ_pos[leftover]] - total_cons
+        warm_sel = left_orig >= num_prod
+        warm_left = np.sort(left_orig[warm_sel] - num_prod)
+        real_left = np.sort(left_orig[~warm_sel])
+        solution.leftover = [
+            (int(warm_lane[i]), int(warm_y[i]), int(warm_stamp[i]))
+            for i in warm_left.tolist()
+        ] + list(
             zip(
-                prod_lane[left_idx].tolist(),
-                prod_y[left_idx].tolist(),
-                prod_t[left_idx].tolist(),
+                prod_lane[real_left].tolist(),
+                prod_y[real_left].tolist(),
+                prod_t[real_left].tolist(),
             )
         )
     else:
@@ -750,11 +1127,11 @@ def _solve_next_line(arrays, degree: int) -> _NextLineSolution:
     return solution
 
 
-def _next_line_solution(arrays, degree: int) -> _NextLineSolution:
-    key = (tuple(arr.key for arr in arrays), degree)
-    solution = _NEXT_LINE_CACHE.get(key)
+def _next_line_solution(arrays, degree: int, warm_items, buffer_sig) -> _NextLineSolution:
+    key = (tuple(arr.key for arr in arrays), degree, buffer_sig)
+    solution = _cache_get(_NEXT_LINE_CACHE, key)
     if solution is None:
-        solution = _solve_next_line(arrays, degree)
+        solution = _solve_next_line(arrays, degree, warm_items)
         _cache_put(_NEXT_LINE_CACHE, _NEXT_LINE_CACHE_MAX, key, solution)
     return solution
 
@@ -763,11 +1140,10 @@ def _run_next_line(lanes, inflight: Dict[int, int], degree: int, llc) -> bool:
     """Batch-vectorized next-line over all lanes; returns False (with
     nothing mutated) when any lane's buffer would overflow."""
     arrays = _lane_arrays_for(lanes)
-    for lane in lanes:
-        if len(lane[3]._blocks):
-            raise _Unsupported("pre-populated prefetch buffer")
+    warm_items = [list(lane[3]._blocks.items()) for lane in lanes]
+    buffer_sig = tuple(lane[3].state_key() for lane in lanes)
     num_lanes = len(lanes)
-    solution = _next_line_solution(arrays, degree)
+    solution = _next_line_solution(arrays, degree, warm_items, buffer_sig)
     capacities = np.asarray([lane[3]._capacity for lane in lanes], dtype=np.int64)
     if solution.peaks.size and (solution.peaks > capacities[solution.peak_lanes]).any():
         return False
@@ -785,19 +1161,27 @@ def _run_next_line(lanes, inflight: Dict[int, int], degree: int, llc) -> bool:
         stats.prefetch_hits = int(lane_timely[index])
         stats.late_hits = int(lane_late[index])
         stats.prefetches_issued = int(solution.lane_issued[index])
-        lane[3].evicted_unused = 0
+        _write_l1_state(lane[2], arr)
     buffers = [lane[3]._blocks for lane in lanes]
+    for blocks in buffers:
+        blocks.clear()
     for lane_index, block, issued_at in solution.leftover:
         buffers[lane_index][block] = issued_at
-    if llc is not None:
-        _replay_llc_flat(
+    if llc is not None and solution.ev_step.size:
+        stats_list = [lane[4] for lane in lanes]
+        _replay_llc_memo(
             llc,
-            [lane[4] for lane in lanes],
-            solution.ev_step,
-            solution.ev_addr,
-            solution.ev_kind,
-            solution.ev_lane,
-            solution.ev_seq,
+            stats_list,
+            ("next_line", tuple(arr.key for arr in arrays), degree, buffer_sig),
+            lambda: _replay_llc_flat(
+                llc,
+                stats_list,
+                solution.ev_step,
+                solution.ev_addr,
+                solution.ev_kind,
+                solution.ev_lane,
+                solution.ev_seq,
+            ),
         )
     return True
 
@@ -886,32 +1270,36 @@ def _compactor_records_python(a, region_blocks, init_trigger, init_mask):
 
 
 def _records_for(arr: _LaneArrays, compactor, region_blocks: int):
-    """Compactor record stream for one lane, memoized for fresh compactors."""
-    fresh = compactor._trigger is None and compactor._mask == 0
-    key = (arr.key[0], region_blocks)
-    if fresh:
-        records = _RECORD_CACHE.get(key)
-        if records is not None:
-            return records
-    records = _compactor_records(arr.a, region_blocks, compactor._trigger, compactor._mask)
-    if fresh:
+    """Compactor record stream for one lane, memoized per starting state.
+
+    The stream is pure in (trace content, region size, open-region seed);
+    warm compactors — chunked resumes — just key on their carried trigger
+    and mask, which the prepend-virtual-access path already consumes.
+    """
+    key = (arr.key[0], region_blocks, compactor._trigger, compactor._mask)
+    records = _cache_get(_RECORD_CACHE, key)
+    if records is None:
+        records = _compactor_records(
+            arr.a, region_blocks, compactor._trigger, compactor._mask
+        )
         _cache_put(_RECORD_CACHE, _RECORD_CACHE_MAX, key, records)
     return records
 
 
-#: Cross-run memo of solved PIF lanes.  A PIF run from fresh state is a
-#: pure function of (trace, PIF configuration), so the counters, the LLC
-#: event stream and the prefetcher's final state are captured once and
-#: replayed onto the fresh objects of later runs; only the in-flight
-#: classification (stats-only) is applied per run.  Sweeps that revisit a
-#: trace with an unchanged PIF configuration (e.g. the LLC-capacity axis)
-#: hit this directly.
-_PIF_CACHE: Dict[tuple, tuple] = {}
-_PIF_CACHE_MAX = 4
+#: Cross-run memo of solved PIF lanes.  A PIF run is a pure function of
+#: (trace, PIF configuration, starting state) — the state entering the key
+#: as the prefetcher/buffer digests, so fresh and warm (chunk-resume) runs
+#: share the machinery — and the counters, the LLC event stream and the
+#: prefetcher's final state are captured once and replayed onto later
+#: runs' objects; only the in-flight classification (stats-only) is
+#: applied per run.  Sweeps that revisit a trace with an unchanged PIF
+#: configuration (e.g. the LLC-capacity axis) hit this directly.
+_PIF_CACHE: "OrderedDict[tuple, list]" = OrderedDict()
+_PIF_CACHE_MAX = 256
 
 
 class _PIFLaneSolution:
-    """Everything one fresh-state PIF lane run produces."""
+    """Everything one PIF lane run produces from a digested starting state."""
 
     __slots__ = (
         "misses",
@@ -935,22 +1323,14 @@ class _PIFLaneSolution:
     )
 
 
-def _pif_state_is_fresh(prefetcher: PIFPrefetcher, lanes) -> bool:
-    """True when nothing has touched the prefetcher or the lane buffers."""
-    return (
-        all(h._next_pos == 0 for h in prefetcher._histories)
-        and all(not i._entries for i in prefetcher._indices)
-        and all(c._trigger is None and c._mask == 0 for c in prefetcher._compactors)
-        and all(
-            not s._streams and not s._owner and s.dispatches == 0 and s.record_reads == 0
-            for s in prefetcher._streams
-        )
-        and all(not lane[3]._blocks and lane[3].evicted_unused == 0 for lane in lanes)
-    )
-
-
 def _apply_pif_solution(lane, arr: _LaneArrays, solution: _PIFLaneSolution, prefetcher, inflight_c):
-    """Replay a captured lane solution onto fresh per-run objects."""
+    """Replay a captured lane solution onto the per-run objects.
+
+    The solution stores *absolute* final state, so every container is
+    cleared before being set: an ``update`` on warm state would keep an
+    existing key's old OrderedDict position and corrupt FIFO/LRU order
+    (for fresh objects the clears are no-ops).
+    """
     core_id, _addresses, _cache, buffer, stats = lane
     engine = prefetcher._streams[core_id]
     history = prefetcher._histories[core_id]
@@ -958,16 +1338,19 @@ def _apply_pif_solution(lane, arr: _LaneArrays, solution: _PIFLaneSolution, pref
     compactor = prefetcher._compactors[core_id]
     history._records[:] = solution.records
     history._next_pos = solution.next_pos
+    index._entries.clear()
     index._entries.update(solution.index_items)
     compactor._trigger = solution.final_trigger
     compactor._mask = solution.final_mask
+    buffer._blocks.clear()
     buffer._blocks.update(solution.buffer_items)
     buffer.evicted_unused = solution.evicted
     streams = [_Stream(0) for _ in solution.streams]
     for stream, (next_pos, outstanding) in zip(streams, solution.streams):
         stream.next_pos = next_pos
         stream.outstanding = set(outstanding)
-    engine._streams.extend(streams)
+    engine._streams[:] = streams
+    engine._owner.clear()
     engine._owner.update(
         (block, streams[slot]) for block, slot in solution.owner_items
     )
@@ -1000,7 +1383,6 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
     if region_blocks > 62:
         raise _Unsupported("region masks beyond int64 need the Python loops")
     arrays = _lane_arrays_for(lanes)
-    fresh = _pif_state_is_fresh(prefetcher, lanes)
     cache_key = (
         tuple(arr.key for arr in arrays),
         tuple(lane[0] for lane in lanes),
@@ -1011,25 +1393,27 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
         config.stream_buffer.capacity_records,
         config.history_entries,
         config.index_entries,
+        prefetcher.state_key(),
+        tuple(lane[3].state_key() for lane in lanes),
     )
     per_lane = []
-    if fresh:
-        solutions = _PIF_CACHE.get(cache_key)
-        if solutions is not None:
-            for lane, arr, solution in zip(lanes, arrays, solutions):
-                _apply_pif_solution(lane, arr, solution, prefetcher, inflight[lane[0]])
-                if llc is not None:
-                    per_lane.append(
-                        _pif_events_entry(
-                            lane,
-                            solution.d_steps.size,
-                            solution.p_steps.size,
-                            np.concatenate([solution.d_steps, solution.p_steps]),
-                            np.concatenate([solution.d_addrs, solution.p_addrs]),
-                        )
+    solutions = _cache_get(_PIF_CACHE, cache_key)
+    if solutions is not None:
+        for lane, arr, solution in zip(lanes, arrays, solutions):
+            _apply_pif_solution(lane, arr, solution, prefetcher, inflight[lane[0]])
+            _write_l1_state(lane[2], arr)
+            if llc is not None:
+                per_lane.append(
+                    _pif_events_entry(
+                        lane,
+                        solution.d_steps.size,
+                        solution.p_steps.size,
+                        np.concatenate([solution.d_steps, solution.p_steps]),
+                        np.concatenate([solution.d_addrs, solution.p_addrs]),
                     )
-            _replay_llc(llc, per_lane)
-            return
+                )
+        _replay_llc(llc, per_lane, ("pif", cache_key))
+        return
     all_records = [
         _records_for(arr, prefetcher._compactors[lane[0]], region_blocks)
         for lane, arr in zip(lanes, arrays)
@@ -1046,14 +1430,15 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
             records,
             prefetcher,
             inflight[lane[0]],
-            llc is not None or fresh,
+            True,
             offsets_table,
             num_streams,
             lookahead,
             outstanding_cap,
-            capture=fresh,
+            capture=True,
         )
         solutions.append(solution)
+        _write_l1_state(lane[2], arr)
         if llc is not None:
             demand_steps, demand_addrs, pf_steps, pf_addrs = events
             per_lane.append(
@@ -1065,9 +1450,8 @@ def _run_pif(lanes, inflight: Dict[int, int], prefetcher: PIFPrefetcher, llc) ->
                     np.asarray(demand_addrs + pf_addrs, dtype=np.int64),
                 )
             )
-    if fresh:
-        _cache_put(_PIF_CACHE, _PIF_CACHE_MAX, cache_key, solutions)
-    _replay_llc(llc, per_lane)
+    _cache_put(_PIF_CACHE, _PIF_CACHE_MAX, cache_key, solutions)
+    _replay_llc(llc, per_lane, ("pif", cache_key))
 
 
 def _pif_lane(
@@ -1110,11 +1494,11 @@ def _pif_lane(
     bpopitem = bmap.popitem
     blen = len(bmap)
     num_sets = cache._num_sets
-    # L1 set contents after the latest fill: {content_m[s], content_o[s]}.
-    # Hits never change a 2-way set's *membership*, so updates happen only
-    # on non-hit accesses, from the precomputed co-resident array.
-    content_m = [-1] * num_sets
-    content_o = [-1] * num_sets
+    # L1 set contents after the latest fill: {content_m[s], content_o[s]},
+    # seeded with any restored warm contents.  Hits never change a 2-way
+    # set's *membership*, so updates happen only on non-hit accesses, from
+    # the precomputed co-resident array.
+    content_m, content_o = _initial_content(arr)
     a_list = arr.a.tolist()
     hit_list = arr.l1_hit.tolist()
     other_list = arr.other_after.tolist()
@@ -1136,7 +1520,10 @@ def _pif_lane(
     ages: List[int] = []
     add_age = ages.append
     misses = 0
-    issued = evicted = 0
+    issued = 0
+    # Evictions accumulate on top of any restored count: the absolute final
+    # value is what the capture stores and the checkpoint serializes.
+    evicted = buffer.evicted_unused
     for step, address, hit in zip(range(arr.n), a_list, hit_list):
         if step == next_rec:
             trigger = rec_trigger[rec_index]
@@ -1321,15 +1708,16 @@ def _pif_lane(
 # SHIFT / consolidated SHIFT (shared history, epoch-split)
 
 
-#: Cross-run memo of solved SHIFT runs.  A SHIFT run from fresh shared
-#: state is a pure function of (traces, group structure, SHIFT
-#: configuration): the per-lane counters and LLC event streams plus each
-#: group's final history/index/compactor state are captured once and
-#: replayed onto the fresh objects of later runs — the same contract as
-#: ``_PIF_CACHE``, extended with the shared-group write-back.  Only the
-#: in-flight classification (stats-only) is applied per run.
-_SHIFT_CACHE: Dict[tuple, tuple] = {}
-_SHIFT_CACHE_MAX = 4
+#: Cross-run memo of solved SHIFT runs.  A SHIFT run is a pure function of
+#: (traces, group structure, SHIFT configuration, starting state) — the
+#: state entering the key as the prefetcher/buffer digests: the per-lane
+#: counters and LLC event streams plus each group's final
+#: history/index/compactor state are captured once and replayed onto later
+#: runs' objects — the same contract as ``_PIF_CACHE``, extended with the
+#: shared-group write-back.  Only the in-flight classification
+#: (stats-only) is applied per run.
+_SHIFT_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SHIFT_CACHE_MAX = 512
 
 
 class _ShiftLaneSolution:
@@ -1354,40 +1742,36 @@ class _ShiftLaneSolution:
 
 
 class _ShiftGroupState:
-    """One shared-history group's final state after a fresh-state run."""
+    """One shared-history group's append schedule for a solved run.
 
-    __slots__ = ("records", "next_pos", "index_items", "final_trigger", "final_mask")
+    Stored as the *delta* against the starting state the solution was
+    keyed on (the appended records and the final open compactor region),
+    so applying it to a live group costs O(appends) — not O(capacity) —
+    per chunk.  The memo key pins the starting state exactly, which makes
+    replaying the same appends equivalent to storing the final state.
 
-    def __init__(self, records, next_pos, index_items, final_trigger, final_mask):
-        self.records = records
-        self.next_pos = next_pos
-        self.index_items = index_items
+    ``applied`` caches the absolute post-apply (ring, write position,
+    index items) captured by the first replay of this schedule: the
+    starting state is pinned, so later cache hits assign the final state
+    wholesale in C-speed bulk copies instead of re-running the put loop.
+    """
+
+    __slots__ = (
+        "base_pos",
+        "rec_trigger",
+        "rec_mask",
+        "final_trigger",
+        "final_mask",
+        "applied",
+    )
+
+    def __init__(self, base_pos, rec_trigger, rec_mask, final_trigger, final_mask):
+        self.base_pos = base_pos
+        self.rec_trigger = rec_trigger
+        self.rec_mask = rec_mask
         self.final_trigger = final_trigger
         self.final_mask = final_mask
-
-
-def _shift_state_is_fresh(groups, roles, lanes) -> bool:
-    """True when nothing has touched the shared state or the lane buffers."""
-    for group in groups:
-        if group.history._next_pos or group.index._entries:
-            return False
-        if group.compactor._trigger is not None or group.compactor._mask:
-            return False
-    for lane, role in zip(lanes, roles):
-        if lane[3]._blocks or lane[3].evicted_unused:
-            return False
-        if role is None:
-            continue
-        engine = role[1]
-        if (
-            engine._streams
-            or engine._owner
-            or engine.dispatches
-            or engine.record_reads
-            or engine.llc_block_reads
-        ):
-            return False
-    return True
+        self.applied = None
 
 
 def _run_shift(lanes, inflight: Dict[int, int], prefetcher, llc) -> None:
@@ -1404,8 +1788,6 @@ def _run_shift(lanes, inflight: Dict[int, int], prefetcher, llc) -> None:
             # construction; guarded for safety).
             raise _Unsupported("index/history capacity mismatch")
     arrays = _lane_arrays_for(lanes)
-    if not _shift_state_is_fresh(groups, roles, lanes):
-        raise _Unsupported("resumed shared-history state needs the Python loops")
     records_per_block = config.records_per_llc_block if config.virtualized else 0
     group_sig = tuple(
         (group.core_ids, group.trainer_core, group.history._capacity) for group in groups
@@ -1420,18 +1802,30 @@ def _run_shift(lanes, inflight: Dict[int, int], prefetcher, llc) -> None:
         config.stream_buffer.capacity_records,
         records_per_block,
         group_sig,
+        prefetcher.state_key(),
+        tuple(lane[3].state_key() for lane in lanes),
     )
-    solved = _SHIFT_CACHE.get(cache_key)
+    solved = _cache_get(_SHIFT_CACHE, cache_key)
     if solved is None:
         solved = _solve_shift(
             lanes, arrays, roles, groups, region_blocks, config, records_per_block
         )
         _cache_put(_SHIFT_CACHE, _SHIFT_CACHE_MAX, cache_key, solved)
-    _apply_shift_solution(lanes, arrays, roles, groups, solved, inflight, llc)
+    _apply_shift_solution(
+        lanes, arrays, roles, groups, solved, inflight, llc, cache_key
+    )
 
 
 def _solve_shift(lanes, arrays, roles, groups, region_blocks, config, records_per_block):
-    """Solve a fresh-state SHIFT run without touching any run object."""
+    """Solve a SHIFT run without touching any run object.
+
+    Warm (chunk-resume) runs are handled by treating the restored shared
+    state as epoch 0's visible prefix: each group's restored ``next_pos``
+    becomes the base append position, its history ring and index entries
+    seed the per-lane solvers, and the chunk's appends stack on top at
+    absolute positions ``base + k``.  Fresh state makes all of that empty
+    and reduces to the original construction.
+    """
     offsets_table = _expand_offsets(region_blocks)
     num_streams = config.stream_buffer.num_streams
     lookahead = config.stream_buffer.lookahead_records
@@ -1439,23 +1833,30 @@ def _solve_shift(lanes, arrays, roles, groups, region_blocks, config, records_pe
     # Each group's append schedule comes from its trainer lane's compactor
     # record stream: the trainer feeds the compactor once per round-robin
     # step, so record k is appended at global step rec_step[k].  A group
-    # whose trainer core has no trace never appends.
-    empty = ([], [], [], None, 0)
-    group_records = [empty] * len(groups)
+    # whose trainer core has no live lane appends nothing and keeps its
+    # carried compactor state.
+    group_records = [
+        ([], [], [], group.compactor._trigger, group.compactor._mask)
+        for group in groups
+    ]
     for lane, arr, role in zip(lanes, arrays, roles):
         if role is not None and role[2]:
             group_records[role[0]] = _records_for(
                 arr, groups[role[0]].compactor, region_blocks
             )
+    group_bases = [group.history._next_pos for group in groups]
+    group_rings = [list(group.history._records) for group in groups]
+    group_latest = [dict(group.index._entries) for group in groups]
     lane_solutions = []
     for lane, arr, role in zip(lanes, arrays, roles):
         if role is None:
             lane_solutions.append(None)
             continue
-        group_index, _engine, _is_trainer = role
+        group_index, engine, _is_trainer = role
         group = groups[group_index]
         rec_step, rec_trigger, rec_mask = group_records[group_index][:3]
         delta = 0 if lane[0] >= group.trainer_core else 1
+        slot_of = {id(stream): slot for slot, stream in enumerate(engine._streams)}
         lane_solutions.append(
             _shift_lane_solve(
                 arr,
@@ -1470,30 +1871,28 @@ def _solve_shift(lanes, arrays, roles, groups, region_blocks, config, records_pe
                 outstanding_cap,
                 records_per_block,
                 lane[3]._capacity,
+                group_bases[group_index],
+                group_rings[group_index],
+                group_latest[group_index],
+                [
+                    (stream.next_pos, list(stream.outstanding), stream.last_llc_block)
+                    for stream in engine._streams
+                ],
+                [
+                    (block, slot_of[id(stream)])
+                    for block, stream in engine._owner.items()
+                ],
+                (engine.dispatches, engine.record_reads, engine.llc_block_reads),
+                list(lane[3]._blocks.items()),
+                lane[3].evicted_unused,
             )
         )
-    group_states = []
-    for group, records in zip(groups, group_records):
-        rec_step, rec_trigger, rec_mask, final_trigger, final_mask = records
-        total = len(rec_step)
-        cap = group.history._capacity
-        ring: List[Optional[tuple]] = [None] * cap
-        for pos in range(max(0, total - cap), total):
-            ring[pos % cap] = (rec_trigger[pos], rec_mask[pos])
-        # Exact IndexTable.put replay, for the final FIFO/move-to-end order.
-        entries: "OrderedDict[int, int]" = OrderedDict()
-        for pos in range(total):
-            trigger = rec_trigger[pos]
-            if trigger in entries:
-                entries[trigger] = pos
-                entries.move_to_end(trigger)
-            else:
-                entries[trigger] = pos
-                if len(entries) > cap:
-                    entries.popitem(last=False)
-        group_states.append(
-            _ShiftGroupState(ring, total, list(entries.items()), final_trigger, final_mask)
+    group_states = [
+        _ShiftGroupState(
+            base_pos, records[1], records[2], records[3], records[4]
         )
+        for group, records, base_pos in zip(groups, group_records, group_bases)
+    ]
     return lane_solutions, group_states
 
 
@@ -1510,6 +1909,14 @@ def _shift_lane_solve(
     outstanding_cap: int,
     records_per_llc_block: int,
     buffer_cap: int,
+    base_pos: int,
+    init_ring,
+    init_latest,
+    init_streams,
+    init_owner,
+    init_counters,
+    init_buffer,
+    init_evicted: int,
 ) -> _ShiftLaneSolution:
     """Event loop over one SHIFT lane against the precomputed append schedule.
 
@@ -1519,32 +1926,49 @@ def _shift_lane_solve(
     the schedule.  The append at trainer step ``t`` becomes visible to this
     lane at step ``t`` when the lane runs at-or-after the trainer in the
     round-robin core order (``delta == 0``) and at ``t + 1`` otherwise;
-    ``visible`` counts the visible appends and stands in for the live
-    ``history._next_pos``.  ``latest`` (last visible append position per
-    trigger) replaces ``IndexTable.get`` exactly: SHIFT's index capacity
-    equals the history capacity, so any FIFO-evicted index entry already
-    fails the validity window ``visible - hist_cap <= pos < visible``.
+    ``visible`` counts the visible *absolute* append positions and stands
+    in for the live ``history._next_pos``.  ``latest`` (last visible
+    append position per trigger) replaces ``IndexTable.get`` exactly:
+    SHIFT's index capacity equals the history capacity, so any
+    FIFO-evicted index entry already fails the validity window
+    ``visible - hist_cap <= pos < visible``.
+
+    Warm resumes enter through ``base_pos`` (the restored ``next_pos``)
+    and the ``init_*`` snapshots: restored appends live at absolute
+    positions below ``base_pos`` and are read from ``init_ring`` (every
+    position inside the validity window is populated by construction);
+    this chunk's appends live at ``base_pos + k`` and are read from the
+    schedule arrays.  Nothing here mutates the live run objects — the
+    caller replays the returned solution.
     """
     streams: List[_Stream] = []
-    owner: Dict[int, _Stream] = {}
+    for next_pos, outstanding, last_llc_block in init_streams:
+        stream = _Stream(0)
+        stream.next_pos = next_pos
+        stream.outstanding = set(outstanding)
+        stream.last_llc_block = last_llc_block
+        streams.append(stream)
+    owner: Dict[int, _Stream] = {
+        block: streams[slot] for block, slot in init_owner
+    }
     owner_pop = owner.pop
-    latest: Dict[int, int] = {}
+    latest: Dict[int, int] = dict(init_latest)
     latest_get = latest.get
-    bmap: "OrderedDict[int, int]" = OrderedDict()
+    bmap: "OrderedDict[int, int]" = OrderedDict(init_buffer)
     bpop = bmap.pop
     bpopitem = bmap.popitem
-    blen = 0
+    blen = len(bmap)
     num_sets = arr.num_sets
-    content_m = [-1] * num_sets
-    content_o = [-1] * num_sets
+    content_m, content_o = _initial_content(arr)
     a_list = arr.a.tolist()
     hit_list = arr.l1_hit.tolist()
     other_list = arr.other_after.tolist()
     set_list = arr.setidx.tolist()
     total = len(rec_step)
-    visible = 0
+    appended = 0
+    visible = base_pos
     next_vis = rec_step[0] + delta if total else -1
-    dispatches = record_reads = llc_reads = 0
+    dispatches, record_reads, llc_reads = init_counters
     demand_steps: List[int] = []
     demand_addrs: List[int] = []
     pf_steps: List[int] = []
@@ -1556,13 +1980,15 @@ def _shift_lane_solve(
     ages: List[int] = []
     add_age = ages.append
     misses = 0
-    issued = evicted = 0
+    issued = 0
+    evicted = init_evicted
     for step, address, hit in zip(range(arr.n), a_list, hit_list):
         if step == next_vis:
-            while visible < total and rec_step[visible] + delta <= step:
-                latest[rec_trigger[visible]] = visible
-                visible += 1
-            next_vis = rec_step[visible] + delta if visible < total else -1
+            while appended < total and rec_step[appended] + delta <= step:
+                latest[rec_trigger[appended]] = base_pos + appended
+                appended += 1
+            visible = base_pos + appended
+            next_vis = rec_step[appended] + delta if appended < total else -1
         if hit:
             is_miss = False
         else:
@@ -1606,9 +2032,13 @@ def _shift_lane_solve(
                             llc_reads += 1
                     spos += 1
                     record_reads += 1
-                    rec_t = rec_trigger[spos - 1]
+                    if spos > base_pos:
+                        rec_t = rec_trigger[spos - 1 - base_pos]
+                        rec_m = rec_mask[spos - 1 - base_pos]
+                    else:
+                        rec_t, rec_m = init_ring[(spos - 1) % hist_cap]
                     blocks.append(rec_t)
-                    for offset in offsets_table[rec_mask[spos - 1]]:
+                    for offset in offsets_table[rec_m]:
                         blocks.append(rec_t + offset)
                 stream.next_pos = spos
                 outstanding = stream.outstanding
@@ -1648,8 +2078,11 @@ def _shift_lane_solve(
                                 llc_reads += 1
                         stream.next_pos = spos + 1
                         record_reads += 1
-                        rec_t = rec_trigger[spos]
-                        rec_m = rec_mask[spos]
+                        if spos >= base_pos:
+                            rec_t = rec_trigger[spos - base_pos]
+                            rec_m = rec_mask[spos - base_pos]
+                        else:
+                            rec_t, rec_m = init_ring[spos % hist_cap]
                         if rec_t not in owner:
                             owner[rec_t] = stream
                             outstanding.add(rec_t)
@@ -1712,12 +2145,22 @@ def _shift_lane_solve(
     return solution
 
 
-def _apply_shift_solution(lanes, arrays, roles, groups, solved, inflight, llc) -> None:
-    """Replay a solved SHIFT run onto this run's fresh objects."""
+def _apply_shift_solution(
+    lanes, arrays, roles, groups, solved, inflight, llc, cache_key
+) -> None:
+    """Replay a solved SHIFT run onto this run's objects.
+
+    Per-lane solutions store *absolute* final state, so lane containers
+    are cleared before being set (an ``update`` on warm state would keep
+    an existing key's old OrderedDict position); for fresh objects the
+    clears are no-ops.  Group state is applied as the solved append-
+    schedule delta (see :class:`_ShiftGroupState`).
+    """
     lane_solutions, group_states = solved
     per_lane = []
     for lane, arr, role, solution in zip(lanes, arrays, roles, lane_solutions):
-        core_id, _addresses, _cache, buffer, stats = lane
+        core_id, _addresses, cache, buffer, stats = lane
+        _write_l1_state(cache, arr)
         if role is None:
             # Passive lane (core outside every group): a pure baseline lane.
             hits = int(np.count_nonzero(arr.l1_hit))
@@ -1728,6 +2171,7 @@ def _apply_shift_solution(lanes, arrays, roles, groups, solved, inflight, llc) -
                 per_lane.append((stats, miss_steps, arr.a[miss_steps], None, None))
             continue
         _group_index, engine, _is_trainer = role
+        buffer._blocks.clear()
         buffer._blocks.update(solution.buffer_items)
         buffer.evicted_unused = solution.evicted
         streams = [_Stream(0) for _ in solution.streams]
@@ -1737,7 +2181,8 @@ def _apply_shift_solution(lanes, arrays, roles, groups, solved, inflight, llc) -
             stream.next_pos = next_pos
             stream.outstanding = set(outstanding)
             stream.last_llc_block = last_llc_block
-        engine._streams.extend(streams)
+        engine._streams[:] = streams
+        engine._owner.clear()
         engine._owner.update(
             (block, streams[slot]) for block, slot in solution.owner_items
         )
@@ -1763,12 +2208,47 @@ def _apply_shift_solution(lanes, arrays, roles, groups, solved, inflight, llc) -
                 )
             )
     for group, state in zip(groups, group_states):
-        group.history._records[:] = state.records
-        group.history._next_pos = state.next_pos
-        group.index._entries.update(state.index_items)
+        history = group.history
+        entries = group.index._entries
+        if state.applied is not None:
+            # Pinned starting state + same schedule = same final state:
+            # bulk-assign the snapshot captured by the first replay.
+            ring_final, next_pos, index_items = state.applied
+            history._records[:] = ring_final
+            history._next_pos = next_pos
+            entries.clear()
+            entries.update(index_items)
+            group.compactor._trigger = state.final_trigger
+            group.compactor._mask = state.final_mask
+            continue
+        # Exact trainer-loop replay (HistoryBuffer.append + IndexTable.put)
+        # of the solved append schedule onto the live group: O(appends) per
+        # chunk, and identical to storing the final state because the memo
+        # key pins the starting state the schedule was solved against.
+        rec_trigger, rec_mask = state.rec_trigger, state.rec_mask
+        total = len(rec_trigger)
+        base_pos, cap = state.base_pos, history._capacity
+        ring = history._records
+        for pos in range(max(0, total - cap), total):
+            ring[(base_pos + pos) % cap] = (rec_trigger[pos], rec_mask[pos])
+        history._next_pos = base_pos + total
+        for pos in range(total):
+            trigger = rec_trigger[pos]
+            if trigger in entries:
+                entries[trigger] = base_pos + pos
+                entries.move_to_end(trigger)
+            else:
+                entries[trigger] = base_pos + pos
+                if len(entries) > cap:
+                    entries.popitem(last=False)
         group.compactor._trigger = state.final_trigger
         group.compactor._mask = state.final_mask
-    _replay_llc(llc, per_lane)
+        state.applied = (
+            tuple(ring),
+            history._next_pos,
+            tuple(entries.items()),
+        )
+    _replay_llc(llc, per_lane, ("shift", cache_key))
 
 
 # ---------------------------------------------------------------------------
@@ -1792,7 +2272,6 @@ class NumPyBackend(Backend):
     def run(self, lanes, inflight: Dict[int, int], prefetcher, llc=None) -> None:
         ptype = type(prefetcher)
         try:
-            _require_fresh_l1(lanes)
             if ptype is NullPrefetcher or ptype is Prefetcher:
                 _run_baseline(lanes, llc)
                 return
@@ -1810,6 +2289,48 @@ class NumPyBackend(Backend):
         except _Unsupported:
             pass
         self._python.run(lanes, inflight, prefetcher, llc)
+
+    def prewarm(self, traces, l1_config) -> None:
+        """Precompute trace-pure per-lane arrays for upcoming windows.
+
+        The chunked engine calls this on a helper thread with chunk
+        ``k+1``'s trace windows while chunk ``k`` replays, overlapping the
+        fingerprint/argsort/forward-fill work with the event loops.  Only
+        the fresh (state-independent) arrays can be built ahead of time —
+        warm overlays need the not-yet-known chunk-``k`` final state, but
+        they are thin derivations on top of these.  Best-effort: anything
+        unsupported simply stays cold and is handled at run time.
+        """
+        for trace in traces:
+            try:
+                a, fingerprint = _trace_columns(trace)
+                key = (fingerprint, l1_config.num_sets, l1_config.associativity)
+                if _cache_get(_ARRAY_CACHE, key) is None:
+                    arrays = _LaneArrays(
+                        a, l1_config.num_sets, l1_config.associativity, fingerprint
+                    )
+                    _cache_put(_ARRAY_CACHE, _ARRAY_CACHE_MAX, key, arrays)
+            except _Unsupported:
+                continue
+
+    def prewarm_pending(self, traces, l1_config) -> bool:
+        """True when any window's base arrays are not yet memoized.
+
+        Fingerprinting a window is microseconds (one SHA-256 over the
+        column view) against the ~hundred-microsecond cost of spawning and
+        joining the prewarm thread, so the chunked engine probes this
+        before every boundary and skips the thread in the warm steady
+        state.
+        """
+        for trace in traces:
+            try:
+                _a, fingerprint = _trace_columns(trace)
+            except _Unsupported:
+                continue
+            key = (fingerprint, l1_config.num_sets, l1_config.associativity)
+            if _cache_get(_ARRAY_CACHE, key) is None:
+                return True
+        return False
 
 
 __all__ = ["NumPyBackend"]

@@ -19,16 +19,19 @@ backend.  Results are bit-identical across all paths; the regression tests
 pin them to the frozen PR-1 loop in :mod:`repro.sim._legacy` and the
 backends to each other.
 
-The lane caches and buffers handed to a backend are run-local scratch:
-backends must leave the :class:`CoreResult` counters, the prefetch-buffer
-contents, the prefetcher's mutable state and the LLC exactly as the
-reference loop would, but the L1 cache objects themselves are not read
-after the run and carry no contract.
+Backends must leave the :class:`CoreResult` counters, the prefetch-buffer
+contents, the prefetcher's mutable state, the LLC *and the L1 cache
+objects* exactly as the reference loop would: the chunked engine
+(:meth:`SimulationEngine._run_chunked`) carries all of them across every
+window boundary — snapshotting and restoring through JSON at exponentially
+spaced boundaries — and resumes the next window from that state, so final
+L1 contents are part of the backend contract.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -286,11 +289,17 @@ class SimulationEngine:
         every lane (zero-copy :meth:`~repro.workloads.trace.CoreTrace.window`
         views), so the round-robin interleaving — and with it every shared
         structure's access order — is exactly the monolithic one restricted
-        to that window.  Between chunks the full engine state is serialized
-        through JSON (:meth:`snapshot`/:meth:`restore` on the prefetcher,
-        L1-I caches, prefetch buffers and LLC) and restored into *fresh*
-        cache/buffer/LLC objects, proving the checkpoint is complete:
-        nothing can leak across the boundary through object identity.
+        to that window.  At power-of-two chunk boundaries (the 1st, 2nd,
+        4th, 8th, ...) the full engine state is serialized through JSON
+        (:meth:`snapshot`/:meth:`restore` on the prefetcher, L1-I caches,
+        prefetch buffers and LLC) and restored into *fresh* cache/buffer/
+        LLC objects, proving the checkpoint is complete: nothing can leak
+        across the boundary through object identity.  The roundtrip is a
+        proof device, not a correctness requirement, so exponential spacing
+        keeps its cost amortized while still exercising it at multiple
+        state maturities — including the very first boundary, where rebased
+        timestamps first go negative; boundaries in between carry the live
+        objects forward unchanged.
 
         Counter discipline: the fast paths *assign* per-core stats and
         ``evicted_unused`` (clobbering), so each chunk runs against fresh
@@ -301,16 +310,23 @@ class SimulationEngine:
         step counters restart at zero) so in-flight age classification is
         unchanged.  Returns the (possibly replaced) LLC object.
 
-        Chunks always execute on the exact Python loops, whatever backend
-        the engine was built with: resuming a chunk needs the *materialized*
-        L1 state left behind by the previous one, and the vectorized
-        backend's closed-form solutions neither consume nor produce it (its
-        lane caches are pure scratch — it raises ``_Unsupported`` on warm
-        state precisely because its memos assume fresh runs).  Reports are
-        unaffected: backends are pinned bit-identical to each other.
+        Chunks execute on the engine's own backend.  The vectorized numpy
+        backend resumes from restored warm state directly: restored L1
+        contents seed its closed-form set recurrences as virtual pre-window
+        accesses, restored buffers, compactors and history rings become
+        each solver's starting point, and it materializes the final
+        L1/buffer/LLC state the next chunk restores from (falling back to
+        the exact Python loops per run where a structure is unsupported).
+        While chunk ``k`` replays, a helper thread prewarms the backend's
+        trace-pure memos for chunk ``k+1``'s windows
+        (:meth:`~repro.sim.backends.Backend.prewarm`), overlapping column
+        extraction with replay.  Reports are unaffected: backends are
+        pinned bit-identical to each other for every chunk geometry.
         """
-        chunk_backend = get_backend("python")
+        chunk_backend = self._backend
+        l1_config = self._system.l1i
         evicted_acc = {t.core_id: 0 for t in cores}
+        boundary = 0
         for start in range(0, max_len, chunk_blocks):
             stop = min(start + chunk_blocks, max_len)
             live = [t for t in cores if t.num_accesses > start]
@@ -327,7 +343,24 @@ class SimulationEngine:
                 )
                 for t in live
             ]
+            prewarmer = None
+            if stop < max_len:
+                next_stop = min(stop + chunk_blocks, max_len)
+                next_windows = [
+                    t.window(stop, next_stop)
+                    for t in cores
+                    if t.num_accesses > stop
+                ]
+                if chunk_backend.prewarm_pending(next_windows, l1_config):
+                    prewarmer = threading.Thread(
+                        target=chunk_backend.prewarm,
+                        args=(next_windows, l1_config),
+                        daemon=True,
+                    )
+                    prewarmer.start()
             chunk_backend.run(lanes, inflight, prefetcher, llc)
+            if prewarmer is not None:
+                prewarmer.join()
             for t in live:
                 core_id = t.core_id
                 delta = chunk_stats[core_id]
@@ -345,7 +378,11 @@ class SimulationEngine:
                 span = stop - start
                 for buffer in buffers.values():
                     buffer.rebase_timestamps(span)
-                llc = self._checkpoint_roundtrip(caches, buffers, prefetcher, llc)
+                boundary += 1
+                if boundary & (boundary - 1) == 0:
+                    llc = self._checkpoint_roundtrip(
+                        caches, buffers, prefetcher, llc
+                    )
         for core_id, evicted in evicted_acc.items():
             buffers[core_id].evicted_unused = evicted
         return llc

@@ -46,6 +46,7 @@ from ..config import (
     SystemConfig,
 )
 from ..errors import PrefetcherError
+from .cache import digest_state
 
 #: Demand-access outcomes passed to :meth:`Prefetcher.on_access`.
 HIT = 0
@@ -122,6 +123,29 @@ class Prefetcher:
         """Restore a :meth:`snapshot` in place (inverse of ``snapshot``)."""
         if state:
             raise PrefetcherError(f"{self.name}: unexpected snapshot state {state!r}")
+
+    def state_digest(self) -> str:
+        """Content digest of :meth:`snapshot` (see
+        :func:`~repro.sim.cache.digest_state`).
+
+        Two prefetchers with equal snapshots digest equally, so the numpy
+        backend can key its warm-state memos on ``(window fingerprint,
+        state digest)`` and replay a cached solution exactly.
+        """
+        return digest_state(self.snapshot())
+
+    def state_key(self) -> tuple:
+        """All mutable state as a hashable tuple.
+
+        The cheap exact form of :meth:`state_digest`: two prefetchers share
+        a key iff their snapshots are equal, but building nested tuples
+        from the live structures skips the JSON serialization entirely,
+        which matters on the chunked hot path where the numpy backend keys
+        a memo lookup on this at every chunk.  Stateless engines return
+        ``()``; subclasses with mutable state must override in lockstep
+        with :meth:`snapshot`.
+        """
+        return ()
 
 
 class NullPrefetcher(Prefetcher):
@@ -203,6 +227,10 @@ class SpatialCompactor:
         self._trigger = None if trigger is None else int(trigger)
         self._mask = int(state["mask"])
 
+    def state_key(self) -> tuple:
+        """The open region as a hashable tuple (cheap exact snapshot key)."""
+        return (self._trigger, self._mask)
+
 
 def expand_record(record: Record, region_blocks: int) -> List[int]:
     """Block addresses covered by a record, trigger first."""
@@ -273,6 +301,11 @@ class HistoryBuffer:
         ]
         self._next_pos = int(state["next_pos"])
 
+    def state_key(self) -> tuple:
+        """Ring contents and write position as a hashable tuple (cheap
+        exact snapshot key; records are already tuples)."""
+        return (tuple(self._records), self._next_pos)
+
 
 class IndexTable:
     """Bounded trigger-block → history-position map with FIFO replacement."""
@@ -316,6 +349,11 @@ class IndexTable:
         self._entries = OrderedDict(
             (int(trigger), int(pos)) for trigger, pos in entries
         )
+
+    def state_key(self) -> tuple:
+        """Entries in FIFO order as a hashable tuple (cheap exact snapshot
+        key; replacement order is load-bearing, so it is part of the key)."""
+        return tuple(self._entries.items())
 
 
 class _Stream:
@@ -471,6 +509,23 @@ class StreamEngine:
         self.record_reads = int(state["record_reads"])
         self.llc_block_reads = int(state["llc_block_reads"])
 
+    def state_key(self) -> tuple:
+        """Streams, ownership and counters as a hashable tuple (cheap exact
+        snapshot key; stream identity is positional, as in :meth:`snapshot`)."""
+        slot_of = {id(stream): slot for slot, stream in enumerate(self._streams)}
+        return (
+            tuple(
+                (stream.next_pos, tuple(sorted(stream.outstanding)), stream.last_llc_block)
+                for stream in self._streams
+            ),
+            tuple(
+                (block, slot_of[id(stream)]) for block, stream in self._owner.items()
+            ),
+            self.dispatches,
+            self.record_reads,
+            self.llc_block_reads,
+        )
+
 
 class PIFPrefetcher(Prefetcher):
     """Proactive Instruction Fetch: private history, index and streams per core."""
@@ -531,6 +586,14 @@ class PIFPrefetcher(Prefetcher):
             index.restore(snap)
         for engine, snap in zip(self._streams, state["streams"]):
             engine.restore(snap)
+
+    def state_key(self) -> tuple:
+        return (
+            tuple(c.state_key() for c in self._compactors),
+            tuple(h.state_key() for h in self._histories),
+            tuple(i.state_key() for i in self._indices),
+            tuple(s.state_key() for s in self._streams),
+        )
 
 
 class HistoryGroup(NamedTuple):
@@ -655,6 +718,14 @@ class SHIFTPrefetcher(Prefetcher):
         self._index.restore(state["index"])
         for engine, snap in zip(self._streams, state["streams"]):
             engine.restore(snap)
+
+    def state_key(self) -> tuple:
+        return (
+            self._compactor.state_key(),
+            self._history.state_key(),
+            self._index.state_key(),
+            tuple(s.state_key() for s in self._streams),
+        )
 
 
 class _ShiftGroup:
@@ -821,6 +892,18 @@ class ConsolidatedSHIFTPrefetcher(Prefetcher):
             group.index.restore(snap["index"])
         for core_id, snap in state["streams"]:
             self._streams[int(core_id)].restore(snap)
+
+    def state_key(self) -> tuple:
+        return (
+            tuple(
+                (g.compactor.state_key(), g.history.state_key(), g.index.state_key())
+                for g in self._groups
+            ),
+            tuple(
+                (core_id, engine.state_key())
+                for core_id, engine in sorted(self._streams.items())
+            ),
+        )
 
 
 def make_prefetcher(

@@ -166,6 +166,35 @@ class TestCheckAgainst:
         current["backend"]["numpy_available"] = False
         assert not any("absolute floor" in v for v in check_against(current, baseline))
 
+    def test_chunked_numpy_absolute_floor(self):
+        """The warm chunked-numpy full-run ratio carries an absolute 5x
+        floor, independent of the baseline: a regression to the Python
+        fallback (~1.0) must fail even against a stale baseline."""
+        baseline = hotloop_fixture()
+        baseline["trace_scale"] = {
+            "chunked_matches_monolithic": True,
+            "peak_flatness": 1.1,
+            "chunked_numpy_speedup": 6.5,
+        }
+        current = copy.deepcopy(baseline)
+        assert check_against(current, baseline) == []
+        current["trace_scale"]["chunked_numpy_speedup"] = 1.2
+        violations = check_against(current, baseline)
+        assert any(
+            "chunked_numpy_speedup" in v and "absolute floor" in v
+            for v in violations
+        )
+        del current["trace_scale"]["chunked_numpy_speedup"]
+        violations = check_against(current, baseline)
+        assert any(
+            "chunked_numpy_speedup" in v and "missing" in v for v in violations
+        )
+        # Without numpy there is no warm ratio to hold to the floor.
+        current["backend"]["numpy_available"] = False
+        assert not any(
+            "chunked_numpy_speedup" in v for v in check_against(current, baseline)
+        )
+
     def test_cli_gate_passes_against_own_output(self, tmp_path, capsys):
         from repro.bench.__main__ import main
 

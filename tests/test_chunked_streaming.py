@@ -2,15 +2,21 @@
 
 Property tests sample random chunk geometries — including the degenerate
 edges: chunk size 1 (every access its own chunk, exercised only on tiny
-traces because each boundary serializes full engine state), chunk equal to
-and beyond the trace length, prime sizes whose boundaries inevitably split
-OS-noise handler runs mid-flight — and assert ``ExperimentReport.to_json``
-byte equality against the monolithic run, serially and with
-``REPRO_WORKERS=2``.  The unit tests pin the checkpoint layer underneath:
-``snapshot()``/``restore()`` round-trips through JSON for the L1, the
-prefetch buffer, the shared LLC and every prefetcher family, plus the
-geometry validation each ``restore`` performs.  See ARCHITECTURE.md
-("Chunked streaming") for why these invariants define the feature.
+traces because the early power-of-two boundaries serialize full engine
+state), chunk equal to and beyond the trace length, prime sizes whose
+boundaries inevitably split OS-noise handler runs mid-flight — and assert
+``ExperimentReport.to_json`` byte equality against the monolithic run,
+serially and with ``REPRO_WORKERS=2``.  The warm-state tests snapshot a
+half-run simulation at a random boundary, restore it through JSON, and
+require the numpy backend's vectorized replay of the remaining window to
+match the Python loops on every observable — counters, LLC statistics and
+the written-back shared state — while its warm-state memos prove the
+vectorized path (not the fallback) actually ran.  The unit tests pin the
+checkpoint layer underneath: ``snapshot()``/``restore()`` round-trips
+through JSON for the L1, the prefetch buffer, the shared LLC and every
+prefetcher family, plus the geometry validation each ``restore`` performs.
+See ARCHITECTURE.md ("Chunked streaming") for why these invariants define
+the feature.
 """
 
 import json
@@ -25,13 +31,20 @@ from repro.experiments import run_experiment
 from repro.experiments.cells import CellSpec, run_cell
 from repro.results import result_cache_key
 from repro.sim import simulate
+from repro.sim.backends import get_backend
 from repro.sim.cache import PrefetchBuffer, SetAssociativeCache
+from repro.sim.engine import (
+    DEFAULT_PREFETCH_BUFFER_BLOCKS,
+    CoreResult,
+    SimulationEngine,
+)
 from repro.sim.llc import SharedLLC
 from repro.sim.prefetchers import (
     MISS,
     NullPrefetcher,
     PIFPrefetcher,
     SHIFTPrefetcher,
+    make_prefetcher,
 )
 from repro.workloads.generator import generate_traces
 from repro.workloads.suite import WORKLOAD_NAMES, scaled_workload, workload_by_name
@@ -110,8 +123,10 @@ class TestChunkingInvariance:
         _same_simulation(mono, chunked)
 
     def test_backends_agree_under_chunking(self):
-        """Chunked runs execute python loops per chunk; the numpy backend
-        must still produce the same report for the same cell."""
+        """Chunks execute on the engine's own backend — the numpy backend
+        resumes each window from the restored warm state — so chunked
+        numpy, chunked python and monolithic numpy must all produce the
+        same report for the same cell."""
         pytest.importorskip("numpy")
         config = random_config(21)
         chunked_python = run_experiment(
@@ -259,3 +274,165 @@ class TestCheckpointRoundTrips:
             # guarantee reduces to.
             assert all(pair == issued[0] for pair in issued)
         assert resumed.snapshot() == reference.snapshot()
+
+
+#: Every engine family the warm-state vectorized replay must cover,
+#: including consolidated SHIFT (two logical histories over the core set).
+WARM_FAMILIES = ("none", "next_line", "pif", "shift", "shift_groups")
+
+
+def _family_prefetcher(family: str):
+    if family == "shift_groups":
+        half = SYSTEM.num_cores // 2
+        groups = [
+            list(range(half)),
+            list(range(half, SYSTEM.num_cores)),
+        ]
+        return make_prefetcher(
+            "shift", SYSTEM, shift_config=scaled_shift_config(16), shift_groups=groups
+        )
+    if family == "shift":
+        return make_prefetcher("shift", SYSTEM, shift_config=scaled_shift_config(16))
+    return make_prefetcher(family, SYSTEM)
+
+
+def _warm_boundary_run(backend_name, family, trace_set, split):
+    """Warm a run to ``split`` on the Python loops, checkpoint through JSON,
+    then replay the remaining window once on ``backend_name``.
+
+    Mirrors one ``_run_chunked`` boundary with public snapshot/restore
+    APIs: rebased buffer timestamps, fresh cache/buffer/LLC objects, the
+    prefetcher restored in place.  Returns every observable of the second
+    window — per-core counters, LLC statistics and the written-back shared
+    state — for cross-backend comparison.
+    """
+    prefetcher = _family_prefetcher(family)
+    engine = SimulationEngine(SYSTEM, prefetcher=prefetcher, backend=backend_name)
+    cores = sorted(trace_set.traces, key=lambda t: t.core_id)
+    length = cores[0].num_accesses
+    caches = {t.core_id: SetAssociativeCache(SYSTEM.l1i) for t in cores}
+    buffers = {
+        t.core_id: PrefetchBuffer(DEFAULT_PREFETCH_BUFFER_BLOCKS) for t in cores
+    }
+    miss_latency = SYSTEM.llc_demand_latency_cycles()
+    inflight = {
+        t.core_id: max(
+            1,
+            round(miss_latency * SYSTEM.core.base_ipc / t.instructions_per_block),
+        )
+        for t in cores
+    }
+    llc = engine._build_llc(trace_set)
+    warm_stats = {t.core_id: CoreResult(core_id=t.core_id) for t in cores}
+    lanes = [
+        (t.core_id, t.window(0, split), caches[t.core_id], buffers[t.core_id],
+         warm_stats[t.core_id])
+        for t in cores
+    ]
+    get_backend("python").run(lanes, inflight, prefetcher, llc)
+    for buffer in buffers.values():
+        buffer.rebase_timestamps(split)
+    state = _roundtrip(
+        {
+            "caches": {str(cid): c.snapshot() for cid, c in caches.items()},
+            "buffers": {str(cid): b.snapshot() for cid, b in buffers.items()},
+            "prefetcher": prefetcher.snapshot(),
+            "llc": llc.snapshot(),
+        }
+    )
+    for t in cores:
+        fresh_cache = SetAssociativeCache(SYSTEM.l1i)
+        fresh_cache.restore(state["caches"][str(t.core_id)])
+        caches[t.core_id] = fresh_cache
+        fresh_buffer = PrefetchBuffer(DEFAULT_PREFETCH_BUFFER_BLOCKS)
+        fresh_buffer.restore(state["buffers"][str(t.core_id)])
+        buffers[t.core_id] = fresh_buffer
+    prefetcher.restore(state["prefetcher"])
+    fresh_llc = SharedLLC(SYSTEM.llc, SYSTEM.num_cores)
+    fresh_llc.restore(state["llc"])
+    llc = fresh_llc
+    chunk_stats = {t.core_id: CoreResult(core_id=t.core_id) for t in cores}
+    lanes = [
+        (t.core_id, t.window(split, length), caches[t.core_id],
+         buffers[t.core_id], chunk_stats[t.core_id])
+        for t in cores
+    ]
+    get_backend(backend_name).run(lanes, inflight, prefetcher, llc)
+    return {
+        "counters": {cid: asdict(stats) for cid, stats in chunk_stats.items()},
+        "llc_stats": asdict(llc.stats()),
+        "llc_state": llc.snapshot(),
+        "caches": {cid: c.snapshot() for cid, c in caches.items()},
+        "buffers": {cid: b.snapshot() for cid, b in buffers.items()},
+        "prefetcher": prefetcher.snapshot(),
+    }
+
+
+class TestWarmStateVectorizedReplay:
+    """The numpy backend must resume exactly from a restored checkpoint —
+    and must do so on its vectorized paths, not the Python fallback."""
+
+    @pytest.mark.parametrize("family", WARM_FAMILIES)
+    @pytest.mark.parametrize("config_seed", PROPERTY_SEEDS)
+    def test_warm_numpy_chunk_matches_python(self, family, config_seed):
+        pytest.importorskip("numpy")
+        from repro.sim.backends import numpy_backend as nb
+
+        rng = random.Random(config_seed * 1009 + sum(map(ord, family)))
+        spec = scaled_workload(workload_by_name(rng.choice(WORKLOAD_NAMES)), 16)
+        blocks = rng.choice([400, 600])
+        trace_set = generate_traces(
+            spec,
+            SYSTEM,
+            seed=rng.randint(0, 10_000),
+            num_cores=SYSTEM.num_cores,
+            blocks_per_core=blocks,
+        )
+        split = rng.randint(50, blocks - 50)
+        reference = _warm_boundary_run("python", family, trace_set, split)
+
+        def warm_overlays():
+            return sum(1 for key in nb._ARRAY_CACHE if len(key) == 4)
+
+        solver_cache = {
+            "none": nb._ARRAY_CACHE,
+            "next_line": nb._NEXT_LINE_CACHE,
+            "pif": nb._PIF_CACHE,
+            "shift": nb._SHIFT_CACHE,
+            "shift_groups": nb._SHIFT_CACHE,
+        }[family]
+        overlays_before = warm_overlays()
+        solver_before = len(solver_cache)
+        warm = _warm_boundary_run("numpy", family, trace_set, split)
+        assert warm == reference
+        # The memo probe: a vectorized warm replay populates the warm L1
+        # overlay cache and the family's solver cache; the Python fallback
+        # touches neither.  This keeps the warm path honest — a silently
+        # widened _Unsupported bailout would fail here, not just run slow.
+        assert warm_overlays() > overlays_before
+        if family != "none":
+            assert len(solver_cache) > solver_before
+
+    @pytest.mark.parametrize("config_seed", PROPERTY_SEEDS)
+    def test_warm_numpy_random_chunk_geometry_byte_identical(self, config_seed):
+        pytest.importorskip("numpy")
+        config = random_config(config_seed)
+        rng = random.Random(config_seed * 131)
+        monolithic = run_experiment(backend="python", **config)
+        for chunk in (rng.choice([61, 89]), rng.randint(40, 300)):
+            chunked = run_experiment(backend="numpy", chunk_blocks=chunk, **config)
+            assert chunked.to_json() == monolithic.to_json(), f"chunk={chunk}"
+
+    def test_warm_numpy_chunks_with_workers_byte_identical(
+        self, monkeypatch, tmp_path
+    ):
+        pytest.importorskip("numpy")
+        config = random_config(47)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CHUNK_BLOCKS", raising=False)
+        monolithic = run_experiment(backend="python", **config)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        chunked_parallel = run_experiment(
+            backend="numpy", chunk_blocks=103, trace_cache=tmp_path, **config
+        )
+        assert chunked_parallel.to_json() == monolithic.to_json()
